@@ -1,0 +1,80 @@
+#pragma once
+/// Shared setup for the learning benches: builds the labelled dataset and
+/// trains classifiers with one consistent configuration, so Table 2 and
+/// Fig. 7/Table 3 are computed from the same experimental state.
+///
+/// Scale note: the paper trains 400 epochs at lr 1e-4 on GPU over 736
+/// instances; these benches use fewer instances and epochs with a larger
+/// learning rate so each bench finishes in minutes on a laptop CPU. The
+/// pipeline (labelling rule, loss, optimizer, batch size 1) is unchanged.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/labeling.hpp"
+#include "core/trainer.hpp"
+#include "gen/dataset.hpp"
+
+namespace ns::bench {
+
+struct LabeledDataset {
+  std::vector<core::LabeledInstance> train;
+  std::vector<core::LabeledInstance> test;
+};
+
+inline LabeledDataset build_labeled_dataset(std::size_t train_per_year,
+                                            std::size_t test_count,
+                                            std::uint64_t seed) {
+  gen::Dataset ds = gen::build_dataset(train_per_year, seed);
+  std::vector<gen::NamedInstance> test = gen::generate_split(2022, test_count, seed);
+  core::LabelingOptions lopts;
+  lopts.max_propagations = 500'000;
+  LabeledDataset out;
+  std::printf("labelling %zu train + %zu test instances "
+              "(dual-policy solves)...\n",
+              ds.train.size(), test.size());
+  out.train = core::label_dataset(std::move(ds.train), lopts);
+  out.test = core::label_dataset(std::move(test), lopts);
+  std::printf("label balance: train %.1f%% positive, test %.1f%% positive\n\n",
+              100.0 * core::positive_fraction(out.train),
+              100.0 * core::positive_fraction(out.test));
+  return out;
+}
+
+inline core::TrainOptions bench_train_options() {
+  core::TrainOptions topts;
+  topts.epochs = 40;
+  topts.learning_rate = 5e-4f;
+  topts.seed = 6;
+  return topts;
+}
+
+/// Trains a classifier with collapse restarts: when the run ends in a
+/// degenerate optimum (train accuracy below `threshold` — i.e. at or below
+/// the majority-class rate), reinitialize with a fresh seed and retrain, up
+/// to `max_attempts` times, keeping the best run by train accuracy. This is
+/// the plain "restart on bad initialization" practice; model selection uses
+/// only training data, never the test split.
+inline std::unique_ptr<nn::SatClassifier> train_with_restarts(
+    nn::ClassifierKind kind, const std::vector<core::LabeledInstance>& train,
+    core::TrainOptions topts, double threshold = 0.70,
+    int max_attempts = 3) {
+  std::unique_ptr<nn::SatClassifier> best;
+  double best_acc = -1.0;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const std::uint64_t seed = topts.seed + 3ull * attempt;
+    auto model = nn::make_classifier(kind, seed);
+    core::TrainOptions t = topts;
+    t.seed = seed;
+    core::train_classifier(*model, train, t);
+    const double acc = core::evaluate_classifier(*model, train).accuracy;
+    if (acc > best_acc) {
+      best_acc = acc;
+      best = std::move(model);
+    }
+    if (best_acc >= threshold) break;
+  }
+  return best;
+}
+
+}  // namespace ns::bench

@@ -1,0 +1,81 @@
+/// \file bench_fig5_score_packing.cpp
+/// Reproduces paper Figure 5: how the default and the frequency-guided
+/// clause scoring algorithms pack their metrics into a 64-bit retention
+/// score. Prints the field layouts, example packings, and the resulting
+/// deletion ranking over a sample clause population, demonstrating that the
+/// two policies order the same clauses differently.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "policy/deletion_policy.hpp"
+
+namespace {
+
+void print_bits(std::uint64_t x) {
+  for (int b = 63; b >= 0; --b) {
+    std::putchar((x >> b) & 1 ? '1' : '0');
+    if (b % 8 == 0 && b != 0) std::putchar('\'');
+  }
+}
+
+}  // namespace
+
+int main() {
+  using ns::policy::ClauseFeatures;
+  using ns::policy::pack_default_score;
+  using ns::policy::pack_frequency_score;
+
+  std::printf("=== Figure 5: 64-bit clause retention scores ===\n\n");
+  std::printf("Default:  [63..32] ~glue | [31..0] ~size\n");
+  std::printf("New:      [63..44] frequency | [43..24] ~size | [23..0] ~glue\n");
+  std::printf("(~x = field_max - x; higher packed score = kept longer)\n\n");
+
+  const ClauseFeatures samples[] = {
+      {.glue = 2, .size = 5, .frequency = 0},
+      {.glue = 2, .size = 9, .frequency = 2},
+      {.glue = 6, .size = 12, .frequency = 4},
+      {.glue = 6, .size = 12, .frequency = 0},
+      {.glue = 15, .size = 40, .frequency = 6},
+      {.glue = 30, .size = 80, .frequency = 0},
+  };
+
+  std::printf("%-28s %-22s %-22s\n", "features (glue,size,freq)",
+              "default score", "frequency score");
+  for (const ClauseFeatures& f : samples) {
+    std::printf("g=%-3u s=%-3u f=%-3u          %020" PRIu64 "  %020" PRIu64
+                "\n",
+                f.glue, f.size, f.frequency, pack_default_score(f),
+                pack_frequency_score(f));
+  }
+
+  std::printf("\nbit patterns for (g=6, s=12, f=4):\n  default:   ");
+  print_bits(pack_default_score({6, 12, 4}));
+  std::printf("\n  frequency: ");
+  print_bits(pack_frequency_score({6, 12, 4}));
+  std::printf("\n");
+
+  // Deletion ranking comparison: sort the sample population under both
+  // policies (ascending score = deleted first).
+  std::vector<ClauseFeatures> pop(samples, samples + 6);
+  std::printf("\ndeletion order (first deleted -> last kept):\n");
+  for (const bool use_frequency : {false, true}) {
+    std::vector<ClauseFeatures> order = pop;
+    std::sort(order.begin(), order.end(),
+              [&](const ClauseFeatures& a, const ClauseFeatures& b) {
+                return use_frequency
+                           ? pack_frequency_score(a) < pack_frequency_score(b)
+                           : pack_default_score(a) < pack_default_score(b);
+              });
+    std::printf("  %-10s:", use_frequency ? "frequency" : "default");
+    for (const ClauseFeatures& f : order) {
+      std::printf("  (g=%u,s=%u,f=%u)", f.glue, f.size, f.frequency);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nnote: the orderings differ -> the policies are genuinely "
+              "complementary.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+/// \file bench_micro_solver.cpp
+/// Google-benchmark microbenches of the CDCL substrate: end-to-end solve
+/// throughput per family, and the overhead the frequency-guided policy adds
+/// to a reduction pass (the paper claims the new criterion is cheap: one
+/// counter per variable plus one extra pass at reduce time).
+
+#include <benchmark/benchmark.h>
+
+#include "cnf/dimacs.hpp"
+#include "gen/generators.hpp"
+#include "solver/solver.hpp"
+
+namespace {
+
+void solve_with(const ns::CnfFormula& f, ns::policy::PolicyKind kind,
+                benchmark::State& state) {
+  ns::solver::SolverOptions opts;
+  opts.deletion_policy = kind;
+  std::uint64_t conflicts = 0;
+  for (auto _ : state) {
+    const ns::solver::SolveOutcome out = ns::solver::solve_formula(f, opts);
+    benchmark::DoNotOptimize(out.result);
+    conflicts += out.stats.conflicts;
+  }
+  state.counters["conflicts"] =
+      benchmark::Counter(static_cast<double>(conflicts),
+                         benchmark::Counter::kIsRate);
+}
+
+void BM_SolvePigeonholeDefault(benchmark::State& state) {
+  const ns::CnfFormula f = ns::gen::pigeonhole(8, 7);
+  solve_with(f, ns::policy::PolicyKind::kDefault, state);
+}
+BENCHMARK(BM_SolvePigeonholeDefault)->Unit(benchmark::kMillisecond);
+
+void BM_SolvePigeonholeFrequency(benchmark::State& state) {
+  const ns::CnfFormula f = ns::gen::pigeonhole(8, 7);
+  solve_with(f, ns::policy::PolicyKind::kFrequency, state);
+}
+BENCHMARK(BM_SolvePigeonholeFrequency)->Unit(benchmark::kMillisecond);
+
+void BM_SolveRandom3SatDefault(benchmark::State& state) {
+  const ns::CnfFormula f = ns::gen::random_ksat(120, 511, 3, 4);
+  solve_with(f, ns::policy::PolicyKind::kDefault, state);
+}
+BENCHMARK(BM_SolveRandom3SatDefault)->Unit(benchmark::kMillisecond);
+
+void BM_SolveRandom3SatFrequency(benchmark::State& state) {
+  const ns::CnfFormula f = ns::gen::random_ksat(120, 511, 3, 4);
+  solve_with(f, ns::policy::PolicyKind::kFrequency, state);
+}
+BENCHMARK(BM_SolveRandom3SatFrequency)->Unit(benchmark::kMillisecond);
+
+void BM_SolveMiter(benchmark::State& state) {
+  const ns::CnfFormula f =
+      ns::gen::adder_equivalence(static_cast<std::size_t>(state.range(0)),
+                                 /*inject_bug=*/false, 1);
+  solve_with(f, ns::policy::PolicyKind::kDefault, state);
+}
+BENCHMARK(BM_SolveMiter)->Arg(6)->Arg(10)->Arg(14)->Unit(benchmark::kMillisecond);
+
+// BCP throughput on a propagation-heavy instance (XOR chain: every decision
+// triggers a long implication chain).
+void BM_BcpThroughput(benchmark::State& state) {
+  const ns::CnfFormula f = ns::gen::xor_chain(2000, false, 3);
+  ns::solver::SolverOptions opts;
+  std::uint64_t props = 0;
+  for (auto _ : state) {
+    const ns::solver::SolveOutcome out = ns::solver::solve_formula(f, opts);
+    props += out.stats.propagations;
+    benchmark::DoNotOptimize(out.result);
+  }
+  state.counters["props/s"] = benchmark::Counter(
+      static_cast<double>(props), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BcpThroughput)->Unit(benchmark::kMillisecond);
+
+// Pure DIMACS parse throughput (I/O substrate).
+void BM_DimacsRoundTrip(benchmark::State& state) {
+  const ns::CnfFormula f = ns::gen::random_ksat(500, 2100, 3, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ns::to_dimacs_string(f));
+  }
+}
+BENCHMARK(BM_DimacsRoundTrip)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

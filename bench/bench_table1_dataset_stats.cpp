@@ -1,0 +1,38 @@
+/// \file bench_table1_dataset_stats.cpp
+/// Reproduces paper Table 1: statistics of the training (2016-2021) and
+/// test (2022) dataset splits. Our splits are synthetic stand-ins for the
+/// SAT-competition main tracks (see DESIGN.md §2) and are scaled down to
+/// laptop size; the table structure and the per-year breakdown match the
+/// paper. Also reports the label balance produced by the 2% rule.
+
+#include <cstdio>
+
+#include "core/labeling.hpp"
+#include "gen/dataset.hpp"
+
+int main() {
+  constexpr std::size_t kPerYear = 24;
+  const ns::gen::Dataset ds = ns::gen::build_dataset(kPerYear, /*seed=*/17);
+
+  std::printf("=== Table 1: statistics of the training and test datasets ===\n\n");
+  std::printf("%-10s %-6s %-8s %-12s %-12s\n", "Data Type", "Year", "# CNFs",
+              "avg # Vars", "avg # Clauses");
+  for (const ns::gen::SplitStats& st : ds.split_stats) {
+    std::printf("%-10s %-6d %-8zu %-12.1f %-12.1f\n",
+                st.year == 2022 ? "Test" : "Training", st.year, st.num_cnfs,
+                st.avg_vars, st.avg_clauses);
+  }
+
+  // Label balance of the test year (cheap budget: structure, not labels,
+  // is the point of this table; the full labelling runs in table2's bench).
+  ns::core::LabelingOptions lopts;
+  lopts.max_propagations = 500'000;
+  const auto labeled = ns::core::label_dataset(
+      ns::gen::generate_split(2022, kPerYear, 17), lopts);
+  std::printf("\ntest-year label balance (2%% propagation-reduction rule): "
+              "%.1f%% positive\n",
+              100.0 * ns::core::positive_fraction(labeled));
+  std::printf("train instances: %zu, test instances: %zu\n", ds.train.size(),
+              ds.test.size());
+  return 0;
+}

@@ -1,0 +1,54 @@
+/// \file bench_table2_classifier_comparison.cpp
+/// Reproduces paper Table 2: precision / recall / F1 / accuracy of four SAT
+/// instance classifiers on the 2022 test split — NeuroSAT, G4SATBench-GIN,
+/// NeuroSelect without the attention block (ablation, Sec. 5.3), and full
+/// NeuroSelect. Expected shape: NeuroSelect best overall, the attention
+/// block worth several accuracy points, both graph-transformer variants
+/// above the two baselines.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "nn/models.hpp"
+
+int main() {
+  const ns::bench::LabeledDataset data =
+      ns::bench::build_labeled_dataset(/*train_per_year=*/12, /*test_count=*/36, /*seed=*/17);
+
+  const ns::nn::ClassifierKind kinds[] = {
+      ns::nn::ClassifierKind::kNeuroSat,
+      ns::nn::ClassifierKind::kGin,
+      ns::nn::ClassifierKind::kNeuroSelectNoAttention,
+      ns::nn::ClassifierKind::kNeuroSelect,
+  };
+
+  std::printf("=== Table 2: performance of SAT classification models ===\n\n");
+  std::printf("%-28s %-10s %-10s %-10s %-10s\n", "model", "precision",
+              "recall", "F1", "accuracy");
+
+  double acc_with_attention = 0.0, acc_without_attention = 0.0;
+  for (const ns::nn::ClassifierKind kind : kinds) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto model = ns::bench::train_with_restarts(
+        kind, data.train, ns::bench::bench_train_options());
+    const auto t1 = std::chrono::steady_clock::now();
+    const ns::core::ClassificationMetrics m =
+        ns::core::evaluate_classifier(*model, data.test);
+    std::printf("%-28s %-10.2f %-10.2f %-10.2f %-10.2f  (train %.0fs)\n",
+                std::string(model->name()).c_str(), 100.0 * m.precision,
+                100.0 * m.recall, 100.0 * m.f1, 100.0 * m.accuracy,
+                std::chrono::duration<double>(t1 - t0).count());
+    if (kind == ns::nn::ClassifierKind::kNeuroSelect) {
+      acc_with_attention = m.accuracy;
+    }
+    if (kind == ns::nn::ClassifierKind::kNeuroSelectNoAttention) {
+      acc_without_attention = m.accuracy;
+    }
+  }
+
+  std::printf("\nablation (Sec. 5.3): attention block contributes %+.1f "
+              "accuracy points\n",
+              100.0 * (acc_with_attention - acc_without_attention));
+  return 0;
+}

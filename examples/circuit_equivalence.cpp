@@ -1,0 +1,70 @@
+/// \file circuit_equivalence.cpp
+/// EDA scenario: combinational equivalence checking with a SAT miter — the
+/// classic workload behind the industrial benchmarks the paper targets.
+/// Builds two gate-level adder implementations, miters them, and uses the
+/// CDCL solver to either prove equivalence (UNSAT) or extract a
+/// counterexample input vector from the SAT model.
+///
+/// Run: ./build/examples/circuit_equivalence
+
+#include <cstdio>
+
+#include "gen/circuit.hpp"
+#include "solver/solver.hpp"
+
+namespace {
+
+void check(const char* label, const ns::gen::Circuit& lhs,
+           const ns::gen::Circuit& rhs) {
+  // miter_cnf() Tseitin-encodes `lhs` first into a fresh formula, so
+  // encoding `lhs` into a scratch formula reproduces the exact same
+  // signal -> variable mapping; we use it to decode counterexamples.
+  ns::CnfFormula scratch;
+  const std::vector<ns::Var> lv = lhs.tseitin_encode(scratch);
+  const ns::CnfFormula f = ns::gen::miter_cnf(lhs, rhs);
+  const ns::solver::SolveOutcome out = ns::solver::solve_formula(f);
+
+  std::printf("%-28s %s  (vars=%zu clauses=%zu conflicts=%llu)\n", label,
+              out.result == ns::solver::SatResult::kUnsat
+                  ? "EQUIVALENT (miter UNSAT)"
+                  : "NOT EQUIVALENT (miter SAT)",
+              f.num_vars(), f.num_clauses(),
+              static_cast<unsigned long long>(out.stats.conflicts));
+
+  if (out.result == ns::solver::SatResult::kSat) {
+    // The first block of miter variables is the LHS encoding; its input
+    // variables are lv[inputs[i]]. Decode the distinguishing input vector.
+    std::printf("  counterexample inputs:");
+    std::vector<bool> cex;
+    for (std::size_t i = 0; i < lhs.num_inputs(); ++i) {
+      const bool bit = out.model[lv[lhs.inputs()[i]]];
+      cex.push_back(bit);
+      std::printf(" %d", bit ? 1 : 0);
+    }
+    const auto vl = lhs.simulate(cex);
+    const auto vr = rhs.simulate(cex);
+    std::printf("\n  outputs LHS vs RHS:   ");
+    for (std::size_t o = 0; o < lhs.outputs().size(); ++o) {
+      std::printf(" %d/%d", vl[lhs.outputs()[o]] ? 1 : 0,
+                  vr[rhs.outputs()[o]] ? 1 : 0);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== combinational equivalence checking with SAT miters ===\n\n");
+  for (const std::size_t bits : {4, 8, 12}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "%zu-bit adder (correct):", bits);
+    check(label, ns::gen::ripple_carry_adder(bits),
+          ns::gen::alternative_adder(bits, /*inject_bug=*/false));
+    std::snprintf(label, sizeof(label), "%zu-bit adder (bugged):", bits);
+    check(label, ns::gen::ripple_carry_adder(bits),
+          ns::gen::alternative_adder(bits, /*inject_bug=*/true));
+    std::printf("\n");
+  }
+  return 0;
+}

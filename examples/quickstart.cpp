@@ -1,0 +1,61 @@
+/// \file quickstart.cpp
+/// Minimal tour of the public API: build a formula programmatically, parse
+/// one from DIMACS, solve both, and inspect models and statistics.
+///
+/// Run: ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "cnf/dimacs.hpp"
+#include "cnf/formula.hpp"
+#include "solver/solver.hpp"
+
+int main() {
+  // --- 1. Build a CNF through the API ------------------------------------
+  // (x0 ∨ x1) ∧ (¬x1 ∨ x2) ∧ (¬x0 ∨ ¬x2)
+  ns::CnfFormula f(3);
+  f.add_clause({ns::Lit(0, false), ns::Lit(1, false)});
+  f.add_clause({ns::Lit(1, true), ns::Lit(2, false)});
+  f.add_clause({ns::Lit(0, true), ns::Lit(2, true)});
+  std::printf("formula: %s\n", f.summary().c_str());
+
+  ns::solver::SolveOutcome out = ns::solver::solve_formula(f);
+  if (out.result == ns::solver::SatResult::kSat) {
+    std::printf("SAT, model:");
+    for (std::size_t v = 0; v < f.num_vars(); ++v) {
+      std::printf(" x%zu=%d", v, out.model[v] ? 1 : 0);
+    }
+    std::printf("\nmodel verified: %s\n",
+                f.satisfied_by(out.model) ? "yes" : "NO (bug!)");
+  }
+
+  // --- 2. Parse DIMACS -----------------------------------------------------
+  const char* dimacs =
+      "c the same pigeonhole-style toy, but UNSAT\n"
+      "p cnf 2 4\n"
+      "1 2 0\n"
+      "-1 2 0\n"
+      "1 -2 0\n"
+      "-1 -2 0\n";
+  const ns::ParseResult parsed = ns::parse_dimacs_string(dimacs);
+  if (!parsed.ok) {
+    std::printf("parse error at line %zu: %s\n", parsed.line,
+                parsed.error.c_str());
+    return 1;
+  }
+  out = ns::solver::solve_formula(parsed.formula);
+  std::printf("\nDIMACS instance: %s -> %s\n",
+              parsed.formula.summary().c_str(),
+              out.result == ns::solver::SatResult::kUnsat ? "UNSAT" : "SAT");
+
+  // --- 3. Statistics and budgets ---------------------------------------------
+  std::printf("solver stats: %s\n", out.stats.summary().c_str());
+  ns::solver::SolverOptions budgeted;
+  budgeted.max_conflicts = 1;  // tiny budget -> UNKNOWN on anything hard
+  std::printf("budgeted solve of the same instance: %s\n",
+              ns::solver::solve_formula(parsed.formula, budgeted).result ==
+                      ns::solver::SatResult::kUnknown
+                  ? "UNKNOWN (budget exhausted)"
+                  : "finished within budget");
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "cnf/formula.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ns {
+
+std::size_t CnfFormula::num_literals() const {
+  std::size_t n = 0;
+  for (const Clause& c : clauses_) n += c.size();
+  return n;
+}
+
+void CnfFormula::ensure_var(Var v) {
+  if (v != kNoVar && static_cast<std::size_t>(v) >= num_vars_) {
+    num_vars_ = static_cast<std::size_t>(v) + 1;
+  }
+}
+
+Var CnfFormula::new_var() {
+  const Var v = static_cast<Var>(num_vars_);
+  ++num_vars_;
+  return v;
+}
+
+bool CnfFormula::add_clause(Clause clause) {
+  std::sort(clause.begin(), clause.end());
+  clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+  for (std::size_t i = 0; i + 1 < clause.size(); ++i) {
+    if (clause[i] == ~clause[i + 1]) return false;  // tautology
+  }
+  for (Lit l : clause) ensure_var(l.var());
+  if (clause.empty()) has_empty_clause_ = true;
+  clauses_.push_back(std::move(clause));
+  return true;
+}
+
+bool CnfFormula::add_clause_dimacs(std::span<const int> lits) {
+  Clause c;
+  c.reserve(lits.size());
+  for (int l : lits) c.push_back(Lit::from_dimacs(l));
+  return add_clause(std::move(c));
+}
+
+bool CnfFormula::clause_satisfied_by(const Clause& clause, const Model& model) {
+  for (Lit l : clause) {
+    const bool value = model[l.var()];
+    if (value != l.negated()) return true;
+  }
+  return false;
+}
+
+bool CnfFormula::satisfied_by(const Model& model) const {
+  for (const Clause& c : clauses_) {
+    if (!clause_satisfied_by(c, model)) return false;
+  }
+  return true;
+}
+
+std::string CnfFormula::summary() const {
+  std::ostringstream os;
+  os << "CNF(vars=" << num_vars_ << ", clauses=" << clauses_.size()
+     << ", lits=" << num_literals() << ")";
+  return os.str();
+}
+
+}  // namespace ns

@@ -1,0 +1,87 @@
+#pragma once
+/// \file formula.hpp
+/// In-memory CNF formula: the exchange format between generators, the
+/// solver, and the graph encoders. A formula owns a clause list and knows
+/// its variable count; it performs light normalization on insertion
+/// (duplicate-literal removal, tautology detection).
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cnf/types.hpp"
+
+namespace ns {
+
+/// One clause of a formula: a disjunction of literals.
+using Clause = std::vector<Lit>;
+
+/// A complete truth assignment, indexed by variable.
+using Model = std::vector<bool>;
+
+/// A CNF formula in conjunctive normal form.
+///
+/// Invariants:
+///  - every literal in every clause refers to a variable < num_vars()
+///  - stored clauses contain no duplicate literals
+///  - tautological input clauses (x ∨ ~x ∨ ...) are dropped on insertion
+///
+/// An empty clause is representable (add_clause({})) and marks the formula
+/// trivially unsatisfiable.
+class CnfFormula {
+ public:
+  CnfFormula() = default;
+
+  /// Creates a formula over `num_vars` variables with no clauses yet.
+  explicit CnfFormula(std::size_t num_vars) : num_vars_(num_vars) {}
+
+  /// Number of variables (variables are 0 .. num_vars()-1).
+  std::size_t num_vars() const { return num_vars_; }
+
+  /// Number of stored clauses.
+  std::size_t num_clauses() const { return clauses_.size(); }
+
+  /// Total number of literal occurrences over all clauses.
+  std::size_t num_literals() const;
+
+  /// Grows the variable universe so that `v` is a valid variable.
+  void ensure_var(Var v);
+
+  /// Returns a fresh variable index (growing the universe by one).
+  Var new_var();
+
+  /// Adds a clause. Duplicate literals are removed; a tautology is silently
+  /// dropped (and `false` is returned). Variables are auto-registered.
+  /// Returns true when the clause was actually stored.
+  bool add_clause(Clause clause);
+
+  /// Convenience: adds a clause from DIMACS-style signed ints (no 0 marker).
+  bool add_clause_dimacs(std::span<const int> lits);
+
+  /// Read access to all clauses.
+  const std::vector<Clause>& clauses() const { return clauses_; }
+
+  /// Read access to one clause.
+  const Clause& clause(std::size_t idx) const { return clauses_[idx]; }
+
+  /// True when the formula contains an empty clause.
+  bool has_empty_clause() const { return has_empty_clause_; }
+
+  /// Evaluates the formula under a complete assignment.
+  /// `model.size()` must be >= num_vars(); model[v] is the value of var v.
+  bool satisfied_by(const Model& model) const;
+
+  /// Evaluates a single clause under a complete assignment.
+  static bool clause_satisfied_by(const Clause& clause, const Model& model);
+
+  /// Summary string like "CNF(vars=10, clauses=42, lits=120)".
+  std::string summary() const;
+
+ private:
+  std::size_t num_vars_ = 0;
+  std::vector<Clause> clauses_;
+  bool has_empty_clause_ = false;
+};
+
+}  // namespace ns

@@ -1,0 +1,127 @@
+#pragma once
+/// \file types.hpp
+/// Fundamental value types shared across the NeuroSelect code base:
+/// variables, literals, and the ternary logic value used for assignments.
+///
+/// Conventions follow mainstream CDCL solvers (MiniSat/Kissat):
+///  - Variables are 0-based dense indices (`Var`).
+///  - A literal packs a variable and a sign into one integer:
+///    `lit = 2 * var + (negated ? 1 : 0)`. This makes literals directly
+///    usable as array indices (watch lists, saved phases, ...).
+///  - External (DIMACS) literals are nonzero signed integers; conversion
+///    helpers live here so the rest of the code never re-derives the
+///    encoding.
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+namespace ns {
+
+/// Dense 0-based variable index.
+using Var = std::uint32_t;
+
+/// Sentinel for "no variable".
+inline constexpr Var kNoVar = static_cast<Var>(-1);
+
+/// A propositional literal: a variable together with a sign.
+///
+/// The internal encoding is `2 * var + sign` where `sign == 1` means the
+/// negated literal. `Lit` is a regular value type: cheap to copy, totally
+/// ordered by its encoding, hashable.
+class Lit {
+ public:
+  /// Default-constructed literals are invalid (== Lit::undef()).
+  constexpr Lit() = default;
+
+  /// Builds a literal for `v`, negated when `negated` is true.
+  constexpr Lit(Var v, bool negated) : code_(2 * v + (negated ? 1u : 0u)) {}
+
+  /// The literal with everything-bits set; never refers to a real variable.
+  static constexpr Lit undef() { return Lit{}; }
+
+  /// Reconstructs a literal from its raw encoding (watch-list indices).
+  static constexpr Lit from_code(std::uint32_t code) {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+
+  /// Parses an external DIMACS literal (nonzero; sign = polarity, |x|-1 = var).
+  static Lit from_dimacs(int dimacs) {
+    assert(dimacs != 0);
+    const Var v = static_cast<Var>(std::abs(dimacs) - 1);
+    return Lit(v, dimacs < 0);
+  }
+
+  /// Raw encoding, usable as a dense array index in [0, 2*num_vars).
+  constexpr std::uint32_t code() const { return code_; }
+
+  /// The underlying variable.
+  constexpr Var var() const { return code_ >> 1; }
+
+  /// True when this is the negated polarity of its variable.
+  constexpr bool negated() const { return (code_ & 1u) != 0; }
+
+  /// The opposite-polarity literal of the same variable.
+  constexpr Lit operator~() const { return from_code(code_ ^ 1u); }
+
+  /// True unless this is Lit::undef().
+  constexpr bool is_defined() const { return code_ != kUndefCode; }
+
+  /// External (DIMACS) form: 1-based, negative when negated.
+  int to_dimacs() const {
+    assert(is_defined());
+    const int v = static_cast<int>(var()) + 1;
+    return negated() ? -v : v;
+  }
+
+  /// Human-readable form, e.g. "x3" / "~x3".
+  std::string to_string() const {
+    if (!is_defined()) return "<undef>";
+    return (negated() ? "~x" : "x") + std::to_string(var());
+  }
+
+  friend constexpr bool operator==(Lit a, Lit b) { return a.code_ == b.code_; }
+  friend constexpr bool operator!=(Lit a, Lit b) { return a.code_ != b.code_; }
+  friend constexpr bool operator<(Lit a, Lit b) { return a.code_ < b.code_; }
+
+ private:
+  static constexpr std::uint32_t kUndefCode = static_cast<std::uint32_t>(-1);
+  std::uint32_t code_ = kUndefCode;
+};
+
+/// Ternary truth value: the classic solver lbool.
+enum class LBool : std::uint8_t {
+  kFalse = 0,
+  kTrue = 1,
+  kUndef = 2,
+};
+
+/// Negates a defined LBool; kUndef stays kUndef.
+inline constexpr LBool negate(LBool b) {
+  switch (b) {
+    case LBool::kFalse:
+      return LBool::kTrue;
+    case LBool::kTrue:
+      return LBool::kFalse;
+    default:
+      return LBool::kUndef;
+  }
+}
+
+/// Converts a bool to the corresponding defined LBool.
+inline constexpr LBool to_lbool(bool b) {
+  return b ? LBool::kTrue : LBool::kFalse;
+}
+
+}  // namespace ns
+
+template <>
+struct std::hash<ns::Lit> {
+  std::size_t operator()(ns::Lit l) const noexcept {
+    return std::hash<std::uint32_t>{}(l.code());
+  }
+};

@@ -1,0 +1,53 @@
+#include "core/labeling.hpp"
+
+namespace ns::core {
+
+LabeledInstance label_instance(gen::NamedInstance inst,
+                               const LabelingOptions& options) {
+  LabeledInstance out;
+
+  solver::SolverOptions solver_options = options.base_solver;
+  solver_options.max_propagations = options.max_propagations;
+
+  solver_options.deletion_policy = policy::PolicyKind::kDefault;
+  const solver::SolveOutcome def =
+      solver::solve_formula(inst.formula, solver_options);
+
+  solver_options.deletion_policy = policy::PolicyKind::kFrequency;
+  const solver::SolveOutcome freq =
+      solver::solve_formula(inst.formula, solver_options);
+
+  out.propagations_default = def.stats.propagations;
+  out.propagations_frequency = freq.stats.propagations;
+  out.result_default = def.result;
+  out.result_frequency = freq.result;
+
+  // Label 1 iff the frequency policy saves >= threshold of propagations
+  // (Sec. 5.1). A budget-capped run simply contributes its capped count.
+  const double d = static_cast<double>(out.propagations_default);
+  const double f = static_cast<double>(out.propagations_frequency);
+  out.label = (d > 0.0 && (d - f) / d >= options.improvement_threshold) ? 1 : 0;
+
+  out.graph = nn::GraphBatch::build(inst.formula);
+  out.instance = std::move(inst);
+  return out;
+}
+
+std::vector<LabeledInstance> label_dataset(
+    std::vector<gen::NamedInstance> split, const LabelingOptions& options) {
+  std::vector<LabeledInstance> out;
+  out.reserve(split.size());
+  for (gen::NamedInstance& inst : split) {
+    out.push_back(label_instance(std::move(inst), options));
+  }
+  return out;
+}
+
+double positive_fraction(const std::vector<LabeledInstance>& data) {
+  if (data.empty()) return 0.0;
+  std::size_t pos = 0;
+  for (const LabeledInstance& d : data) pos += d.label;
+  return static_cast<double>(pos) / static_cast<double>(data.size());
+}
+
+}  // namespace ns::core

@@ -1,0 +1,127 @@
+#include "core/neuroselect.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "graph/graph.hpp"
+
+namespace ns::core {
+namespace {
+
+double proxy_seconds(const solver::Statistics& stats,
+                     const EndToEndOptions& options) {
+  return static_cast<double>(stats.propagations) /
+         options.proxy_props_per_second;
+}
+
+double timeout_seconds(const EndToEndOptions& options) {
+  return static_cast<double>(options.timeout_propagations) /
+         options.proxy_props_per_second;
+}
+
+struct MedianAvg {
+  double median = 0.0;
+  double average = 0.0;
+  std::size_t count = 0;
+};
+
+MedianAvg median_avg(std::vector<double> values) {
+  MedianAvg out;
+  out.count = values.size();
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  out.median = (n % 2 == 1) ? values[n / 2]
+                            : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  out.average = sum / static_cast<double>(n);
+  return out;
+}
+
+}  // namespace
+
+InstanceRun run_instance(nn::SatClassifier* model,
+                         const gen::NamedInstance& inst,
+                         const EndToEndOptions& options) {
+  InstanceRun run;
+  run.name = inst.name;
+  run.within_cap = graph::within_node_cap(inst.formula, options.node_cap);
+
+  solver::SolverOptions solver_options = options.base_solver;
+  solver_options.max_propagations = options.timeout_propagations;
+
+  // Baseline: plain Kissat (default deletion policy).
+  solver_options.deletion_policy = policy::PolicyKind::kDefault;
+  const solver::SolveOutcome baseline =
+      solver::solve_formula(inst.formula, solver_options);
+  run.kissat_solved = baseline.result != solver::SatResult::kUnknown;
+  run.kissat_seconds = run.kissat_solved ? proxy_seconds(baseline.stats, options)
+                                         : timeout_seconds(options);
+
+  // NeuroSelect-Kissat: one inference picks the policy (Sec. 5.4). Large
+  // instances bypass the model and keep the default policy.
+  run.chosen = policy::PolicyKind::kDefault;
+  if (model != nullptr && run.within_cap) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const nn::GraphBatch graph = nn::GraphBatch::build(inst.formula);
+    const float p = model->predict_probability(graph);
+    const auto t1 = std::chrono::steady_clock::now();
+    run.inference_seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    if (p > 0.5f) run.chosen = policy::PolicyKind::kFrequency;
+  }
+
+  if (run.chosen == policy::PolicyKind::kDefault) {
+    // Same configuration as the baseline: reuse the measurement, adding the
+    // inference cost the selector paid.
+    run.neuroselect_solved = run.kissat_solved;
+    run.neuroselect_seconds = run.kissat_seconds + run.inference_seconds;
+    return run;
+  }
+
+  solver_options.deletion_policy = run.chosen;
+  const solver::SolveOutcome guided =
+      solver::solve_formula(inst.formula, solver_options);
+  run.neuroselect_solved = guided.result != solver::SatResult::kUnknown;
+  run.neuroselect_seconds =
+      (run.neuroselect_solved ? proxy_seconds(guided.stats, options)
+                              : timeout_seconds(options)) +
+      run.inference_seconds;
+  return run;
+}
+
+EndToEndSummary run_end_to_end(nn::SatClassifier& model,
+                               const std::vector<gen::NamedInstance>& test,
+                               const EndToEndOptions& options) {
+  EndToEndSummary summary;
+  summary.runs.reserve(test.size());
+  for (const gen::NamedInstance& inst : test) {
+    summary.runs.push_back(run_instance(&model, inst, options));
+  }
+
+  std::vector<double> kissat_times, neuro_times;
+  for (const InstanceRun& run : summary.runs) {
+    if (run.kissat_solved) {
+      ++summary.solved_kissat;
+      kissat_times.push_back(run.kissat_seconds);
+    }
+    if (run.neuroselect_solved) {
+      ++summary.solved_neuroselect;
+      neuro_times.push_back(run.neuroselect_seconds);
+    }
+  }
+  const MedianAvg k = median_avg(std::move(kissat_times));
+  const MedianAvg n = median_avg(std::move(neuro_times));
+  summary.median_kissat = k.median;
+  summary.average_kissat = k.average;
+  summary.median_neuroselect = n.median;
+  summary.average_neuroselect = n.average;
+  summary.median_improvement_percent =
+      k.median > 0.0 ? 100.0 * (k.median - n.median) / k.median : 0.0;
+  summary.average_improvement_percent =
+      k.average > 0.0 ? 100.0 * (k.average - n.average) / k.average : 0.0;
+  return summary;
+}
+
+}  // namespace ns::core

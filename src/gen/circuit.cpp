@@ -1,0 +1,200 @@
+#include "gen/circuit.hpp"
+
+#include <cassert>
+
+namespace ns::gen {
+
+Circuit::Circuit() = default;
+
+Signal Circuit::add_input() {
+  const Signal s = static_cast<Signal>(total_signals());
+  inputs_.push_back(s);
+  return s;
+}
+
+Signal Circuit::add_gate(GateOp op, Signal a, Signal b) {
+  assert(a < total_signals());
+  assert(b < total_signals());
+  // Inputs must be created before any gate: gate signals are appended after
+  // the input block, so interleaving would renumber existing signals.
+  const Signal s = static_cast<Signal>(total_signals());
+  gates_.push_back(Gate{op, a, b});
+  return s;
+}
+
+std::vector<bool> Circuit::simulate(const std::vector<bool>& input_values) const {
+  assert(input_values.size() == inputs_.size());
+  std::vector<bool> value(total_signals(), false);
+  value[kTrue] = true;
+  for (std::size_t i = 0; i < inputs_.size(); ++i) value[inputs_[i]] = input_values[i];
+  const std::size_t gate_base = 2 + inputs_.size();
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    const bool a = value[g.a];
+    const bool b = value[g.b];
+    bool out = false;
+    switch (g.op) {
+      case GateOp::kAnd: out = a && b; break;
+      case GateOp::kOr: out = a || b; break;
+      case GateOp::kXor: out = a != b; break;
+      case GateOp::kNot: out = !a; break;
+      case GateOp::kBuf: out = a; break;
+    }
+    value[gate_base + i] = out;
+  }
+  return value;
+}
+
+std::vector<Var> Circuit::tseitin_encode(CnfFormula& f) const {
+  std::vector<Var> var_of(total_signals(), kNoVar);
+  for (Signal s = 0; s < total_signals(); ++s) var_of[s] = f.new_var();
+
+  // Pin the constants.
+  f.add_clause({Lit(var_of[kFalse], /*negated=*/true)});
+  f.add_clause({Lit(var_of[kTrue], /*negated=*/false)});
+
+  const std::size_t gate_base = 2 + inputs_.size();
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    const Lit o(var_of[gate_base + i], false);
+    const Lit a(var_of[g.a], false);
+    const Lit b(var_of[g.b], false);
+    switch (g.op) {
+      case GateOp::kAnd:
+        f.add_clause({~o, a});
+        f.add_clause({~o, b});
+        f.add_clause({o, ~a, ~b});
+        break;
+      case GateOp::kOr:
+        f.add_clause({o, ~a});
+        f.add_clause({o, ~b});
+        f.add_clause({~o, a, b});
+        break;
+      case GateOp::kXor:
+        f.add_clause({~o, a, b});
+        f.add_clause({~o, ~a, ~b});
+        f.add_clause({o, ~a, b});
+        f.add_clause({o, a, ~b});
+        break;
+      case GateOp::kNot:
+        f.add_clause({~o, ~a});
+        f.add_clause({o, a});
+        break;
+      case GateOp::kBuf:
+        f.add_clause({~o, a});
+        f.add_clause({o, ~a});
+        break;
+    }
+  }
+  return var_of;
+}
+
+CnfFormula miter_cnf(const Circuit& lhs, const Circuit& rhs) {
+  assert(lhs.num_inputs() == rhs.num_inputs());
+  assert(!lhs.outputs().empty() && !rhs.outputs().empty());
+  CnfFormula f;
+  const std::vector<Var> lv = lhs.tseitin_encode(f);
+  const std::vector<Var> rv = rhs.tseitin_encode(f);
+
+  // Tie the two circuits' primary inputs together.
+  for (std::size_t i = 0; i < lhs.num_inputs(); ++i) {
+    const Lit a(lv[lhs.inputs()[i]], false);
+    const Lit b(rv[rhs.inputs()[i]], false);
+    f.add_clause({~a, b});
+    f.add_clause({a, ~b});
+  }
+
+  // XOR every output pair into a fresh difference variable; assert that at
+  // least one differs.
+  Clause any_diff;
+  const std::size_t n_out = std::min(lhs.outputs().size(), rhs.outputs().size());
+  for (std::size_t i = 0; i < n_out; ++i) {
+    const Lit a(lv[lhs.outputs()[i]], false);
+    const Lit b(rv[rhs.outputs()[i]], false);
+    const Lit d(f.new_var(), false);
+    f.add_clause({~d, a, b});
+    f.add_clause({~d, ~a, ~b});
+    f.add_clause({d, ~a, b});
+    f.add_clause({d, a, ~b});
+    any_diff.push_back(d);
+  }
+  f.add_clause(std::move(any_diff));
+  return f;
+}
+
+Circuit ripple_carry_adder(std::size_t bits) {
+  Circuit c;
+  std::vector<Signal> a(bits), b(bits);
+  for (std::size_t i = 0; i < bits; ++i) a[i] = c.add_input();
+  for (std::size_t i = 0; i < bits; ++i) b[i] = c.add_input();
+  Signal carry = Circuit::kFalse;
+  for (std::size_t i = 0; i < bits; ++i) {
+    const Signal axb = c.add_xor(a[i], b[i]);
+    const Signal sum = c.add_xor(axb, carry);
+    const Signal and1 = c.add_and(a[i], b[i]);
+    const Signal and2 = c.add_and(axb, carry);
+    carry = c.add_or(and1, and2);
+    c.mark_output(sum);
+  }
+  c.mark_output(carry);
+  return c;
+}
+
+Circuit alternative_adder(std::size_t bits, bool inject_bug) {
+  Circuit c;
+  std::vector<Signal> a(bits), b(bits);
+  for (std::size_t i = 0; i < bits; ++i) a[i] = c.add_input();
+  for (std::size_t i = 0; i < bits; ++i) b[i] = c.add_input();
+  Signal carry = Circuit::kFalse;
+  for (std::size_t i = 0; i < bits; ++i) {
+    // sum = a ^ b ^ cin via a different association order.
+    const Signal bxc = c.add_xor(b[i], carry);
+    const Signal sum = c.add_xor(a[i], bxc);
+    // carry-out as a majority: (a&b) | (a&cin) | (b&cin).
+    const Signal ab = c.add_and(a[i], b[i]);
+    const Signal ac = c.add_and(a[i], carry);
+    const Signal bc = c.add_and(b[i], carry);
+    Signal maj = c.add_or(c.add_or(ab, ac), bc);
+    if (inject_bug && i == bits / 2) {
+      // Perturb one carry bit: use XOR instead of OR at the final merge.
+      maj = c.add_xor(c.add_or(ab, ac), bc);
+    }
+    carry = maj;
+    c.mark_output(sum);
+  }
+  c.mark_output(carry);
+  return c;
+}
+
+Circuit parity_chain(std::size_t width) {
+  Circuit c;
+  std::vector<Signal> in(width);
+  for (std::size_t i = 0; i < width; ++i) in[i] = c.add_input();
+  Signal acc = in[0];
+  for (std::size_t i = 1; i < width; ++i) acc = c.add_xor(acc, in[i]);
+  c.mark_output(acc);
+  return c;
+}
+
+Circuit parity_tree(std::size_t width, bool inject_bug) {
+  Circuit c;
+  std::vector<Signal> level(width);
+  for (std::size_t i = 0; i < width; ++i) level[i] = c.add_input();
+  std::size_t bug_countdown = inject_bug ? width / 3 + 1 : 0;
+  while (level.size() > 1) {
+    std::vector<Signal> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      if (bug_countdown > 0 && --bug_countdown == 0) {
+        next.push_back(c.add_or(level[i], level[i + 1]));  // the injected bug
+      } else {
+        next.push_back(c.add_xor(level[i], level[i + 1]));
+      }
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  c.mark_output(level[0]);
+  return c;
+}
+
+}  // namespace ns::gen

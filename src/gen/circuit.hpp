@@ -1,0 +1,102 @@
+#pragma once
+/// \file circuit.hpp
+/// A minimal combinational circuit IR plus a Tseitin CNF encoder. Used to
+/// produce equivalence-checking miters — the classic EDA workload that
+/// motivates the paper's industrial benchmarks.
+///
+/// A Circuit is a DAG of 2-input gates over primary inputs. Signals are
+/// identified by dense indices; constants TRUE/FALSE are signals 0/1.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cnf/formula.hpp"
+
+namespace ns::gen {
+
+/// Gate operators supported by the IR.
+enum class GateOp : std::uint8_t { kAnd, kOr, kXor, kNot, kBuf };
+
+/// Dense signal identifier within a Circuit.
+using Signal = std::uint32_t;
+
+/// One gate: `output = op(a, b)` (b ignored for kNot/kBuf).
+struct Gate {
+  GateOp op;
+  Signal a;
+  Signal b;
+};
+
+/// A combinational circuit DAG.
+///
+/// Signals are numbered: 0 = constant false, 1 = constant true, then primary
+/// inputs, then gate outputs in creation order. The class maintains
+/// topological validity by construction (gates may only reference existing
+/// signals).
+class Circuit {
+ public:
+  Circuit();
+
+  /// Constant-false / constant-true signals.
+  static constexpr Signal kFalse = 0;
+  static constexpr Signal kTrue = 1;
+
+  /// Adds a primary input and returns its signal.
+  Signal add_input();
+
+  /// Adds a gate and returns its output signal.
+  Signal add_gate(GateOp op, Signal a, Signal b = kFalse);
+
+  Signal add_and(Signal a, Signal b) { return add_gate(GateOp::kAnd, a, b); }
+  Signal add_or(Signal a, Signal b) { return add_gate(GateOp::kOr, a, b); }
+  Signal add_xor(Signal a, Signal b) { return add_gate(GateOp::kXor, a, b); }
+  Signal add_not(Signal a) { return add_gate(GateOp::kNot, a); }
+
+  /// Marks a signal as a primary output.
+  void mark_output(Signal s) { outputs_.push_back(s); }
+
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_gates() const { return gates_.size(); }
+  const std::vector<Signal>& inputs() const { return inputs_; }
+  const std::vector<Signal>& outputs() const { return outputs_; }
+
+  /// Simulates the circuit on an input vector (size == num_inputs()).
+  /// Returns the value of every signal.
+  std::vector<bool> simulate(const std::vector<bool>& input_values) const;
+
+  /// Tseitin-encodes the circuit into `f`. Returns, for each signal, the
+  /// CNF variable representing it. Constants are encoded with unit clauses.
+  std::vector<Var> tseitin_encode(CnfFormula& f) const;
+
+ private:
+  std::size_t total_signals() const { return 2 + inputs_.size() + gates_.size(); }
+
+  std::vector<Signal> inputs_;
+  std::vector<Gate> gates_;        // gate i drives signal 2 + inputs + i
+  std::vector<Signal> outputs_;
+};
+
+/// Builds the miter of two circuits with identical input counts: the result
+/// is satisfiable iff some input makes the XOR of the respective first
+/// outputs true (i.e. the circuits are NOT equivalent).
+CnfFormula miter_cnf(const Circuit& lhs, const Circuit& rhs);
+
+/// Ripple-carry adder over `bits`-bit operands; outputs sum bits then carry.
+Circuit ripple_carry_adder(std::size_t bits);
+
+/// Functionally identical adder built from a different gate-level
+/// decomposition (carry via majority form). When `inject_bug` is set, one
+/// gate is perturbed so the miter becomes satisfiable.
+Circuit alternative_adder(std::size_t bits, bool inject_bug);
+
+/// Parity (odd XOR) of `width` inputs as a left-to-right chain.
+Circuit parity_chain(std::size_t width);
+
+/// Parity of `width` inputs as a balanced XOR tree. When `inject_bug` is
+/// set, one internal XOR is replaced by OR so the miter against the chain
+/// becomes satisfiable. Parity miters are classically hard for resolution,
+/// so these instances exercise deep clause learning and many reductions.
+Circuit parity_tree(std::size_t width, bool inject_bug);
+
+}  // namespace ns::gen

@@ -1,0 +1,124 @@
+#include "gen/dataset.hpp"
+
+#include <random>
+
+#include "gen/generators.hpp"
+
+namespace ns::gen {
+namespace {
+
+std::string instance_name(int year, const std::string& family, std::size_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04zu", i);
+  return std::to_string(year) + "/" + family + "_" + buf;
+}
+
+}  // namespace
+
+std::vector<NamedInstance> generate_split(int year, std::size_t count,
+                                          std::uint64_t seed_base) {
+  std::vector<NamedInstance> out;
+  out.reserve(count);
+  // Distinct stream per year; the per-instance seed mixes in the index.
+  const std::uint64_t year_seed =
+      seed_base * 1000003ull + static_cast<std::uint64_t>(year) * 2654435761ull;
+  std::mt19937_64 meta_rng(year_seed);
+  std::uniform_int_distribution<std::uint64_t> any_seed;
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t s = any_seed(meta_rng);
+    NamedInstance inst;
+    // The mix targets the regime where clause-DB reductions fire several
+    // times per solve (≳500 conflicts), because that is where the two
+    // deletion policies genuinely diverge — and it spans families whose
+    // preferred policy differs, making the selection task non-trivial.
+    switch (i % 6) {
+      case 0: {
+        // Random 3-SAT near the 4.26 phase transition (mixed labels).
+        std::uniform_int_distribution<std::size_t> nv(100, 150);
+        const std::size_t n = nv(meta_rng);
+        const std::size_t m = static_cast<std::size_t>(4.26 * n);
+        inst.family = "random3sat";
+        inst.formula = random_ksat(n, m, 3, s);
+        break;
+      }
+      case 1: {
+        // Modular "industrial-like" instances (mixed labels).
+        std::uniform_int_distribution<std::size_t> nv(260, 400);
+        const std::size_t n = nv(meta_rng);
+        inst.family = "community";
+        inst.formula = community_sat(n, static_cast<std::size_t>(4.25 * n),
+                                     /*num_communities=*/10,
+                                     /*modularity=*/0.8, s);
+        break;
+      }
+      case 2: {
+        // Larger random 3-SAT: many reductions, default policy tends to win.
+        std::uniform_int_distribution<std::size_t> nv(180, 220);
+        const std::size_t n = nv(meta_rng);
+        inst.family = "random3sat_xl";
+        inst.formula = random_ksat(n, static_cast<std::size_t>(4.26 * n), 3, s);
+        break;
+      }
+      case 3: {
+        // XOR miters: resolution-hard circuit equivalence (near-tie labels).
+        std::uniform_int_distribution<std::size_t> width(40, 64);
+        inst.family = "parity";
+        inst.formula =
+            parity_equivalence(width(meta_rng), /*inject_bug=*/(i % 2) == 1, s);
+        break;
+      }
+      case 4: {
+        // Pigeonhole: deep conflict analysis, frequency policy tends to win.
+        std::uniform_int_distribution<std::size_t> holes(7, 8);
+        const std::size_t h = holes(meta_rng);
+        inst.family = "pigeonhole";
+        inst.formula = scramble(pigeonhole(h + 1, h), s);
+        break;
+      }
+      default: {
+        // Adder equivalence miters (EDA verification workload).
+        std::uniform_int_distribution<std::size_t> bits(16, 26);
+        inst.family = "miter";
+        inst.formula = scramble(
+            adder_equivalence(bits(meta_rng), /*inject_bug=*/(i % 2) == 1, s),
+            s ^ 0x9e3779b97f4a7c15ull);
+        break;
+      }
+    }
+    inst.name = instance_name(year, inst.family, i);
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+SplitStats compute_stats(int year, const std::vector<NamedInstance>& split) {
+  SplitStats st;
+  st.year = year;
+  st.num_cnfs = split.size();
+  if (split.empty()) return st;
+  double vars = 0.0;
+  double clauses = 0.0;
+  for (const NamedInstance& inst : split) {
+    vars += static_cast<double>(inst.formula.num_vars());
+    clauses += static_cast<double>(inst.formula.num_clauses());
+  }
+  st.avg_vars = vars / static_cast<double>(split.size());
+  st.avg_clauses = clauses / static_cast<double>(split.size());
+  return st;
+}
+
+Dataset build_dataset(std::size_t per_year, std::uint64_t seed_base) {
+  Dataset ds;
+  for (int year = 2016; year <= 2021; ++year) {
+    std::vector<NamedInstance> split = generate_split(year, per_year, seed_base);
+    ds.split_stats.push_back(compute_stats(year, split));
+    for (NamedInstance& inst : split) ds.train.push_back(std::move(inst));
+  }
+  std::vector<NamedInstance> test = generate_split(2022, per_year, seed_base);
+  ds.split_stats.push_back(compute_stats(2022, test));
+  ds.test = std::move(test);
+  return ds;
+}
+
+}  // namespace ns::gen

@@ -1,0 +1,52 @@
+#pragma once
+/// \file dataset.hpp
+/// Builds the "competition-style" datasets of Table 1: one split per year
+/// 2016..2021 for training and 2022 for test. Each split is a deterministic
+/// mix of the synthetic families in generators.hpp, with year-dependent
+/// seeds so splits differ but are reproducible.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cnf/formula.hpp"
+
+namespace ns::gen {
+
+/// One benchmark instance with provenance metadata.
+struct NamedInstance {
+  std::string name;    ///< unique, e.g. "2022/community_0017"
+  std::string family;  ///< generator family id
+  CnfFormula formula;
+};
+
+/// Aggregate statistics of a split (the row format of Table 1).
+struct SplitStats {
+  int year = 0;
+  std::size_t num_cnfs = 0;
+  double avg_vars = 0.0;
+  double avg_clauses = 0.0;
+};
+
+/// Generates the instance mix for one "competition year".
+///
+/// `count` instances are drawn round-robin from the family mix. The
+/// composition leans on families whose preferred deletion policy differs,
+/// which is what makes the downstream classification task non-trivial.
+std::vector<NamedInstance> generate_split(int year, std::size_t count,
+                                          std::uint64_t seed_base);
+
+/// Computes the Table-1 row for a split.
+SplitStats compute_stats(int year, const std::vector<NamedInstance>& split);
+
+/// The full dataset: training years 2016..2021 and the 2022 test year.
+struct Dataset {
+  std::vector<NamedInstance> train;
+  std::vector<NamedInstance> test;
+  std::vector<SplitStats> split_stats;  ///< one row per year, test last
+};
+
+/// Builds train (6 splits) + test (1 split) with `per_year` instances each.
+Dataset build_dataset(std::size_t per_year, std::uint64_t seed_base);
+
+}  // namespace ns::gen

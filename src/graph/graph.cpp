@@ -1,0 +1,35 @@
+#include "graph/graph.hpp"
+
+namespace ns::graph {
+
+VcGraph build_vc_graph(const CnfFormula& f) {
+  VcGraph g;
+  g.num_vars = f.num_vars();
+  g.num_clauses = f.num_clauses();
+  g.edges.reserve(f.num_literals());
+  for (std::size_t j = 0; j < f.num_clauses(); ++j) {
+    for (const Lit l : f.clause(j)) {
+      g.edges.push_back(VcEdge{l.var(), static_cast<std::uint32_t>(j),
+                               l.negated() ? -1.0f : 1.0f});
+    }
+  }
+  return g;
+}
+
+LcGraph build_lc_graph(const CnfFormula& f) {
+  LcGraph g;
+  g.num_lits = 2 * f.num_vars();
+  g.num_clauses = f.num_clauses();
+  for (std::size_t j = 0; j < f.num_clauses(); ++j) {
+    for (const Lit l : f.clause(j)) {
+      g.edges.push_back(LcGraph::Edge{l.code(), static_cast<std::uint32_t>(j)});
+    }
+  }
+  return g;
+}
+
+bool within_node_cap(const CnfFormula& f, std::size_t cap) {
+  return f.num_vars() + f.num_clauses() <= cap;
+}
+
+}  // namespace ns::graph

@@ -1,0 +1,60 @@
+#pragma once
+/// \file graph.hpp
+/// Graph encodings of CNF formulas used by the classifiers.
+///
+/// - `VcGraph`: the paper's compact undirected bipartite variable–clause
+///   graph (Sec. 4.2): edge (x_i, c_j) with weight +1 when x_i ∈ c_j and
+///   -1 when ¬x_i ∈ c_j. Used by NeuroSelect and the GIN baseline.
+/// - `LcGraph`: the literal–clause graph of NeuroSAT: one node per literal
+///   (2 per variable) plus one per clause; an edge links a literal to every
+///   clause containing it. Includes the literal "flip" permutation pairing
+///   l with ~l.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cnf/formula.hpp"
+
+namespace ns::graph {
+
+/// One weighted bipartite edge.
+struct VcEdge {
+  std::uint32_t var;
+  std::uint32_t clause;
+  float weight;  ///< +1 positive occurrence, -1 negated
+};
+
+/// Bipartite variable–clause graph (paper Sec. 4.2).
+struct VcGraph {
+  std::size_t num_vars = 0;
+  std::size_t num_clauses = 0;
+  std::vector<VcEdge> edges;
+
+  std::size_t num_nodes() const { return num_vars + num_clauses; }
+  std::size_t num_edges() const { return edges.size(); }
+};
+
+/// Literal–clause graph (NeuroSAT encoding). Literal node index ==
+/// Lit::code(), so flipping a literal is `code ^ 1`.
+struct LcGraph {
+  std::size_t num_lits = 0;     ///< == 2 * num_vars
+  std::size_t num_clauses = 0;
+  struct Edge {
+    std::uint32_t lit;     ///< literal node (Lit::code())
+    std::uint32_t clause;
+  };
+  std::vector<Edge> edges;
+};
+
+/// Builds the variable–clause graph of `f`.
+VcGraph build_vc_graph(const CnfFormula& f);
+
+/// Builds the literal–clause graph of `f`.
+LcGraph build_lc_graph(const CnfFormula& f);
+
+/// The Sec. 5.1 filtering rule: true when the VC-graph node count is within
+/// `cap` (the paper uses 400,000).
+bool within_node_cap(const CnfFormula& f, std::size_t cap);
+
+}  // namespace ns::graph

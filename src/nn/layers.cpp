@@ -1,0 +1,46 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+namespace ns::nn {
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2,
+           float eps)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Parameter& p = *params_[k];
+    Matrix& m = m_[k];
+    Matrix& v = v_[k];
+    for (std::size_t i = 0; i < p.value.size(); ++i) {
+      const float g = p.grad.data()[i];
+      m.data()[i] = beta1_ * m.data()[i] + (1.0f - beta1_) * g;
+      v.data()[i] = beta2_ * v.data()[i] + (1.0f - beta2_) * g * g;
+      const float mhat = m.data()[i] / bias1;
+      const float vhat = v.data()[i] / bias2;
+      p.value.data()[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+    p.zero_grad();
+  }
+}
+
+void Adam::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+}  // namespace ns::nn

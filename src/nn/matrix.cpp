@@ -1,0 +1,94 @@
+#include "nn/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ns::nn {
+
+Matrix Matrix::xavier(std::size_t rows, std::size_t cols,
+                      std::mt19937_64& rng) {
+  Matrix m(rows, cols);
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(rows + cols));
+  std::uniform_real_distribution<float> dist(-limit, limit);
+  for (float& x : m.data_) x = dist(rng);
+  return m;
+}
+
+void Matrix::add_in_place(const Matrix& other) {
+  assert(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::scale_in_place(float s) {
+  for (float& x : data_) x *= s;
+}
+
+float Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (float x : data_) acc += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float Matrix::sum() const {
+  double acc = 0.0;
+  for (float x : data_) acc += x;
+  return static_cast<float>(acc);
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = a.at(i, k);
+      if (aik == 0.0f) continue;
+      const float* brow = b.data() + k * b.cols();
+      float* crow = c.data() + i * c.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const float* arow = a.data() + k * a.cols();
+    const float* brow = b.data() + k * b.cols();
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = c.data() + i * c.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const float* brow = b.data() + j * b.cols();
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+float max_abs_diff(const Matrix& a, const Matrix& b) {
+  assert(a.same_shape(b));
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+  }
+  return m;
+}
+
+}  // namespace ns::nn

@@ -1,0 +1,86 @@
+#pragma once
+/// \file matrix.hpp
+/// Dense row-major float matrix — the value type of the autograd engine.
+/// Deliberately minimal: storage, element access, a few BLAS-1/3 kernels,
+/// and seeded random initialization. All heavier algebra lives in the
+/// autograd ops (tape.hpp) so forward and backward stay side by side.
+
+#include <cassert>
+#include <cstddef>
+#include <random>
+#include <vector>
+
+namespace ns::nn {
+
+/// Dense row-major matrix of floats.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix zeros(std::size_t rows, std::size_t cols) {
+    return Matrix(rows, cols, 0.0f);
+  }
+  static Matrix ones(std::size_t rows, std::size_t cols) {
+    return Matrix(rows, cols, 1.0f);
+  }
+
+  /// Xavier/Glorot-uniform initialization, deterministic in `rng`.
+  static Matrix xavier(std::size_t rows, std::size_t cols,
+                       std::mt19937_64& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// this += other (same shape).
+  void add_in_place(const Matrix& other);
+
+  /// this *= s.
+  void scale_in_place(float s);
+
+  /// Frobenius norm.
+  float frobenius_norm() const;
+
+  /// Sum of all entries.
+  float sum() const;
+
+  bool same_shape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A * B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B.
+Matrix matmul_at_b(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T.
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+/// Max |a - b| over all entries (shapes must match).
+float max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace ns::nn

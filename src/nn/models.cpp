@@ -1,0 +1,365 @@
+#include "nn/models.hpp"
+
+#include <cmath>
+
+namespace ns::nn {
+
+// ---------------------------------------------------------------------------
+// Graph tensor caches
+// ---------------------------------------------------------------------------
+
+VcGraphTensors VcGraphTensors::build(const graph::VcGraph& g) {
+  VcGraphTensors t;
+  t.num_vars = g.num_vars;
+  t.num_clauses = g.num_clauses;
+
+  std::vector<std::uint32_t> vr, cr;
+  std::vector<float> w;
+  vr.reserve(g.edges.size());
+  cr.reserve(g.edges.size());
+  w.reserve(g.edges.size());
+  for (const graph::VcEdge& e : g.edges) {
+    vr.push_back(e.var);
+    cr.push_back(e.clause);
+    w.push_back(e.weight);
+  }
+
+  t.avc = SparseMatrix::from_coo(g.num_vars, g.num_clauses, vr, cr, w);
+  t.acv = SparseMatrix::from_coo(g.num_clauses, g.num_vars, cr, vr, w);
+  t.avc_t = t.avc.transposed();
+  t.acv_t = t.acv.transposed();
+
+  t.svc = t.avc;
+  t.svc.normalize_rows_by_degree();
+  t.svc_t = t.svc.transposed();
+  t.scv = t.acv;
+  t.scv.normalize_rows_by_degree();
+  t.scv_t = t.scv.transposed();
+  return t;
+}
+
+LcGraphTensors LcGraphTensors::build(const graph::LcGraph& g) {
+  LcGraphTensors t;
+  t.num_lits = g.num_lits;
+  t.num_clauses = g.num_clauses;
+
+  std::vector<std::uint32_t> lr, cr;
+  std::vector<float> w(g.edges.size(), 1.0f);
+  lr.reserve(g.edges.size());
+  cr.reserve(g.edges.size());
+  for (const graph::LcGraph::Edge& e : g.edges) {
+    lr.push_back(e.lit);
+    cr.push_back(e.clause);
+  }
+  t.mlc = SparseMatrix::from_coo(g.num_lits, g.num_clauses, lr, cr, w);
+  t.mcl = SparseMatrix::from_coo(g.num_clauses, g.num_lits, cr, lr, w);
+  t.mlc_t = t.mlc.transposed();
+  t.mcl_t = t.mcl.transposed();
+
+  t.flip.resize(g.num_lits);
+  for (std::uint32_t i = 0; i < g.num_lits; ++i) t.flip[i] = i ^ 1u;
+  return t;
+}
+
+GraphBatch GraphBatch::build(const CnfFormula& f) {
+  GraphBatch b;
+  b.vc = VcGraphTensors::build(graph::build_vc_graph(f));
+  b.lc = LcGraphTensors::build(graph::build_lc_graph(f));
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// SatClassifier
+// ---------------------------------------------------------------------------
+
+float SatClassifier::predict_probability(const GraphBatch& g) {
+  Tape tape;
+  const TensorId logit = forward_logit(tape, g);
+  const float x = tape.value(logit).at(0, 0);
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+// ---------------------------------------------------------------------------
+// MpnnLayer (Eqs. 6-7)
+// ---------------------------------------------------------------------------
+
+MpnnLayer::MpnnLayer(std::size_t dim, std::mt19937_64& rng)
+    : msg_from_clause_(dim, dim, rng),
+      msg_from_var_(dim, dim, rng),
+      self_var_(dim, dim, rng),
+      self_clause_(dim, dim, rng),
+      upd_var_(dim, dim, rng),
+      upd_clause_(dim, dim, rng) {}
+
+std::pair<TensorId, TensorId> MpnnLayer::forward(Tape& tape,
+                                                 const VcGraphTensors& g,
+                                                 TensorId xv, TensorId xc) {
+  // Messages into variables: mean over incident clauses of MLP(h_c),
+  // weighted by the signed edge weight (Eq. 6).
+  const TensorId mv =
+      tape.spmm(&g.svc, &g.svc_t, msg_from_clause_.forward(tape, xc));
+  const TensorId hv = tape.relu(
+      upd_var_.forward(tape, tape.add(mv, self_var_.forward(tape, xv))));
+  // Messages into clauses (computed from the pre-update variable features).
+  const TensorId mc =
+      tape.spmm(&g.scv, &g.scv_t, msg_from_var_.forward(tape, xv));
+  const TensorId hc = tape.relu(upd_clause_.forward(
+      tape, tape.add(mc, self_clause_.forward(tape, xc))));
+  return {hv, hc};
+}
+
+void MpnnLayer::collect_parameters(std::vector<Parameter*>& out) {
+  msg_from_clause_.collect_parameters(out);
+  msg_from_var_.collect_parameters(out);
+  self_var_.collect_parameters(out);
+  self_clause_.collect_parameters(out);
+  upd_var_.collect_parameters(out);
+  upd_clause_.collect_parameters(out);
+}
+
+// ---------------------------------------------------------------------------
+// LinearAttention (Eqs. 8-9)
+// ---------------------------------------------------------------------------
+
+LinearAttention::LinearAttention(std::size_t dim, std::mt19937_64& rng)
+    : fq_(dim, dim, rng), fk_(dim, dim, rng), fv_(dim, dim, rng) {}
+
+TensorId LinearAttention::forward(Tape& tape, TensorId z) {
+  const std::size_t n = tape.value(z).rows();
+  const float inv_n = 1.0f / static_cast<float>(n);
+
+  const TensorId q = tape.frobenius_normalize(fq_.forward(tape, z));
+  const TensorId k = tape.frobenius_normalize(fk_.forward(tape, z));
+  const TensorId v = fv_.forward(tape, z);
+
+  // D = diag(1 + (1/N) Q̃ (K̃ᵀ·1)); computed as an N×1 column.
+  const TensorId ones = tape.constant(Matrix::ones(n, 1));
+  const TensorId kt1 = tape.matmul_at_b(k, ones);          // d×1
+  const TensorId qk1 = tape.matmul(q, kt1);                // N×1
+  const TensorId d = tape.add_scalar(tape.scale(qk1, inv_n), 1.0f);
+  const TensorId d_inv = tape.reciprocal(d);
+
+  // Z_out = D⁻¹ [ V + (1/N) Q̃ (K̃ᵀ V) ].
+  const TensorId kv = tape.matmul_at_b(k, v);              // d×d
+  const TensorId qkv = tape.matmul(q, kv);                 // N×d
+  const TensorId attn = tape.add(v, tape.scale(qkv, inv_n));
+  return tape.row_mul(attn, d_inv);
+}
+
+void LinearAttention::collect_parameters(std::vector<Parameter*>& out) {
+  fq_.collect_parameters(out);
+  fk_.collect_parameters(out);
+  fv_.collect_parameters(out);
+}
+
+// ---------------------------------------------------------------------------
+// HgtLayer (Sec. 4.3)
+// ---------------------------------------------------------------------------
+
+HgtLayer::HgtLayer(std::size_t dim, std::size_t mpnn_depth, bool use_attention,
+                   std::mt19937_64& rng)
+    : attention_(dim, rng),
+      attention_gate_(Matrix::zeros(1, 1)),
+      use_attention_(use_attention) {
+  mpnn_.reserve(mpnn_depth);
+  for (std::size_t i = 0; i < mpnn_depth; ++i) mpnn_.emplace_back(dim, rng);
+}
+
+std::pair<TensorId, TensorId> HgtLayer::forward(Tape& tape,
+                                                const VcGraphTensors& g,
+                                                TensorId xv, TensorId xc) {
+  for (MpnnLayer& layer : mpnn_) {
+    std::tie(xv, xc) = layer.forward(tape, g, xv, xc);
+  }
+  if (use_attention_) {
+    // Attention only over variable nodes (Eq. 4); clause features pass
+    // through from the MPNN (Eq. 5). The block enters through a gated
+    // residual (ReZero: x + alpha * attn(x), alpha trained from 0), which
+    // keeps the local MPNN signal intact at initialization and lets the
+    // optimizer learn how much global context to mix in — the CPU-scale
+    // counterpart of SGFormer's GNN+attention combination.
+    const TensorId gate = tape.param(&attention_gate_);
+    xv = tape.add(tape.scalar_mul(attention_.forward(tape, xv), gate), xv);
+  }
+  return {xv, xc};
+}
+
+void HgtLayer::collect_parameters(std::vector<Parameter*>& out) {
+  for (MpnnLayer& layer : mpnn_) layer.collect_parameters(out);
+  if (use_attention_) {
+    attention_.collect_parameters(out);
+    out.push_back(&attention_gate_);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NeuroSelectModel
+// ---------------------------------------------------------------------------
+
+NeuroSelectModel::NeuroSelectModel(const NeuroSelectConfig& config)
+    : config_(config) {
+  std::mt19937_64 rng(config.seed);
+  // Paper Sec. 4.2: initial embedding 1 for variable nodes, 0 for clauses.
+  var_embed_ = Parameter(Matrix::ones(1, config.hidden_dim));
+  clause_embed_ = Parameter(Matrix::zeros(1, config.hidden_dim));
+  layers_.reserve(config.num_hgt_layers);
+  for (std::size_t i = 0; i < config.num_hgt_layers; ++i) {
+    layers_.emplace_back(config.hidden_dim, config.mpnn_per_hgt,
+                         config.use_attention, rng);
+  }
+  head_ = Mlp({config.hidden_dim, config.hidden_dim, 1}, rng);
+}
+
+TensorId NeuroSelectModel::forward_logit(Tape& tape, const GraphBatch& g) {
+  TensorId xv =
+      tape.broadcast_row(tape.param(&var_embed_), g.vc.num_vars);
+  TensorId xc =
+      tape.broadcast_row(tape.param(&clause_embed_), g.vc.num_clauses);
+  for (HgtLayer& layer : layers_) {
+    std::tie(xv, xc) = layer.forward(tape, g.vc, xv, xc);
+  }
+  // Eq. 10: READOUT over variable-node embeddings only.
+  const TensorId pooled = tape.mean_rows(xv);
+  return head_.forward(tape, pooled);
+}
+
+void NeuroSelectModel::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&var_embed_);
+  out.push_back(&clause_embed_);
+  for (HgtLayer& layer : layers_) layer.collect_parameters(out);
+  head_.collect_parameters(out);
+}
+
+// ---------------------------------------------------------------------------
+// GinModel
+// ---------------------------------------------------------------------------
+
+GinModel::GinModel(std::size_t hidden_dim, std::size_t num_layers,
+                   std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  var_embed_ = Parameter(Matrix::ones(1, hidden_dim));
+  clause_embed_ = Parameter(Matrix::zeros(1, hidden_dim));
+  layers_.reserve(num_layers);
+  for (std::size_t i = 0; i < num_layers; ++i) {
+    layers_.push_back(GinLayer{
+        Mlp({hidden_dim, hidden_dim, hidden_dim}, rng),
+        Mlp({hidden_dim, hidden_dim, hidden_dim}, rng),
+    });
+  }
+  head_ = Mlp({2 * hidden_dim, hidden_dim, 1}, rng);
+}
+
+TensorId GinModel::forward_logit(Tape& tape, const GraphBatch& g) {
+  TensorId xv = tape.broadcast_row(tape.param(&var_embed_), g.vc.num_vars);
+  TensorId xc =
+      tape.broadcast_row(tape.param(&clause_embed_), g.vc.num_clauses);
+  for (GinLayer& layer : layers_) {
+    // GIN update: h' = MLP(h + Σ_{u∈N(v)} w_uv h_u)  (sum aggregation,
+    // epsilon fixed to 0 as in the GIN-0 variant).
+    const TensorId aggv = tape.spmm(&g.vc.avc, &g.vc.avc_t, xc);
+    const TensorId aggc = tape.spmm(&g.vc.acv, &g.vc.acv_t, xv);
+    const TensorId hv = layer.var_mlp.forward(tape, tape.add(xv, aggv));
+    const TensorId hc = layer.clause_mlp.forward(tape, tape.add(xc, aggc));
+    xv = tape.relu(hv);
+    xc = tape.relu(hc);
+  }
+  const TensorId pooled =
+      tape.concat_cols(tape.mean_rows(xv), tape.mean_rows(xc));
+  return head_.forward(tape, pooled);
+}
+
+void GinModel::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&var_embed_);
+  out.push_back(&clause_embed_);
+  for (GinLayer& layer : layers_) {
+    layer.var_mlp.collect_parameters(out);
+    layer.clause_mlp.collect_parameters(out);
+  }
+  head_.collect_parameters(out);
+}
+
+// ---------------------------------------------------------------------------
+// NeuroSatModel
+// ---------------------------------------------------------------------------
+
+NeuroSatModel::NeuroSatModel(std::size_t hidden_dim, std::size_t num_rounds,
+                             std::uint64_t seed)
+    : rounds_(num_rounds) {
+  std::mt19937_64 rng(seed);
+  lit_embed_ = Parameter(Matrix::ones(1, hidden_dim));
+  clause_embed_ = Parameter(Matrix::ones(1, hidden_dim));
+  lit_msg_ = Mlp({hidden_dim, hidden_dim, hidden_dim}, rng);
+  clause_msg_ = Mlp({hidden_dim, hidden_dim, hidden_dim}, rng);
+  // Literal update sees [clause messages | flipped-literal state].
+  lit_update_ = LstmCell(2 * hidden_dim, hidden_dim, rng);
+  clause_update_ = LstmCell(hidden_dim, hidden_dim, rng);
+  head_ = Mlp({hidden_dim, hidden_dim, 1}, rng);
+}
+
+TensorId NeuroSatModel::forward_logit(Tape& tape, const GraphBatch& g) {
+  const std::size_t n_lits = g.lc.num_lits;
+  const std::size_t n_clauses = g.lc.num_clauses;
+  const std::size_t d = lit_update_.hidden_dim();
+
+  LstmCell::State lit_state{
+      tape.broadcast_row(tape.param(&lit_embed_), n_lits),
+      tape.constant(Matrix::zeros(n_lits, d))};
+  LstmCell::State clause_state{
+      tape.broadcast_row(tape.param(&clause_embed_), n_clauses),
+      tape.constant(Matrix::zeros(n_clauses, d))};
+
+  for (std::size_t round = 0; round < rounds_; ++round) {
+    // Clauses aggregate messages from their literals.
+    const TensorId to_clause = tape.spmm(
+        &g.lc.mcl, &g.lc.mcl_t, lit_msg_.forward(tape, lit_state.h));
+    clause_state = clause_update_.forward(tape, to_clause, clause_state);
+    // Literals aggregate from clauses and see their own negation's state.
+    const TensorId to_lit = tape.spmm(
+        &g.lc.mlc, &g.lc.mlc_t, clause_msg_.forward(tape, clause_state.h));
+    const TensorId flipped = tape.permute_rows(lit_state.h, g.lc.flip);
+    lit_state = lit_update_.forward(
+        tape, tape.concat_cols(to_lit, flipped), lit_state);
+  }
+  const TensorId pooled = tape.mean_rows(lit_state.h);
+  return head_.forward(tape, pooled);
+}
+
+void NeuroSatModel::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&lit_embed_);
+  out.push_back(&clause_embed_);
+  lit_msg_.collect_parameters(out);
+  clause_msg_.collect_parameters(out);
+  lit_update_.collect_parameters(out);
+  clause_update_.collect_parameters(out);
+  head_.collect_parameters(out);
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<SatClassifier> make_classifier(ClassifierKind kind,
+                                               std::uint64_t seed) {
+  switch (kind) {
+    case ClassifierKind::kNeuroSat:
+      // 4 message-passing rounds: scaled down from NeuroSAT's 26 to keep
+      // CPU training tractable at our instance sizes.
+      return std::make_unique<NeuroSatModel>(32, 4, seed);
+    case ClassifierKind::kGin:
+      return std::make_unique<GinModel>(32, 3, seed);
+    case ClassifierKind::kNeuroSelectNoAttention: {
+      NeuroSelectConfig cfg;
+      cfg.use_attention = false;
+      cfg.seed = seed;
+      return std::make_unique<NeuroSelectModel>(cfg);
+    }
+    case ClassifierKind::kNeuroSelect:
+    default: {
+      NeuroSelectConfig cfg;
+      cfg.seed = seed;
+      return std::make_unique<NeuroSelectModel>(cfg);
+    }
+  }
+}
+
+}  // namespace ns::nn

@@ -1,0 +1,80 @@
+#include "nn/serialize.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace ns::nn {
+
+std::string parameters_to_string(Module& module) {
+  const std::vector<Parameter*> params = module.parameters();
+  std::ostringstream os;
+  os << "nsweights 1\n" << params.size() << "\n";
+  char buf[32];
+  for (const Parameter* p : params) {
+    os << p->value.rows() << ' ' << p->value.cols();
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), " %.9g",
+                    static_cast<double>(p->value.data()[i]));
+      os << buf;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+bool parameters_from_string(Module& module, const std::string& text) {
+  std::istringstream is(text);
+  std::string magic;
+  int version = 0;
+  std::size_t count = 0;
+  is >> magic >> version >> count;
+  if (!is || magic != "nsweights" || version != 1) return false;
+
+  const std::vector<Parameter*> params = module.parameters();
+  if (count != params.size()) return false;
+
+  // Parse into a staging area first so a mid-stream failure cannot leave
+  // the module half-loaded.
+  std::vector<Matrix> staged;
+  staged.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    std::size_t rows = 0, cols = 0;
+    is >> rows >> cols;
+    if (!is || rows != params[k]->value.rows() ||
+        cols != params[k]->value.cols()) {
+      return false;
+    }
+    Matrix m(rows, cols);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      float v = 0.0f;
+      is >> v;
+      if (!is) return false;
+      m.data()[i] = v;
+    }
+    staged.push_back(std::move(m));
+  }
+  for (std::size_t k = 0; k < count; ++k) {
+    params[k]->value = std::move(staged[k]);
+    params[k]->zero_grad();
+  }
+  return true;
+}
+
+bool save_parameters(Module& module, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << parameters_to_string(module);
+  return static_cast<bool>(out);
+}
+
+bool load_parameters(Module& module, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parameters_from_string(module, ss.str());
+}
+
+}  // namespace ns::nn

@@ -1,0 +1,32 @@
+#pragma once
+/// \file serialize.hpp
+/// Save/load of model weights, so a classifier trained once (e.g. by the
+/// Table-2 bench) can be deployed by other binaries without retraining —
+/// the paper's "train offline, one inference at solve time" usage mode.
+///
+/// Format (text, line oriented):
+///   nsweights 1
+///   <num_tensors>
+///   <rows> <cols> v v v ...        (one line per tensor, row-major, %.9g)
+///
+/// Parameters are matched positionally against Module::parameters(), which
+/// is stable for a given architecture; shapes are verified on load.
+
+#include <string>
+
+#include "nn/layers.hpp"
+
+namespace ns::nn {
+
+/// Serializes all parameters of `module` to a string.
+std::string parameters_to_string(Module& module);
+
+/// Restores parameters from `text`. Returns false (leaving the module
+/// unchanged) on syntax or shape mismatch.
+bool parameters_from_string(Module& module, const std::string& text);
+
+/// File variants; return false on I/O failure or mismatch.
+bool save_parameters(Module& module, const std::string& path);
+bool load_parameters(Module& module, const std::string& path);
+
+}  // namespace ns::nn

@@ -1,0 +1,80 @@
+#include "nn/sparse.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ns::nn {
+
+SparseMatrix SparseMatrix::from_coo(std::size_t rows, std::size_t cols,
+                                    const std::vector<std::uint32_t>& row_idx,
+                                    const std::vector<std::uint32_t>& col_idx,
+                                    const std::vector<float>& values) {
+  assert(row_idx.size() == col_idx.size() && row_idx.size() == values.size());
+  SparseMatrix s;
+  s.rows_ = rows;
+  s.cols_ = cols;
+  s.row_ptr_.assign(rows + 1, 0);
+  for (std::uint32_t r : row_idx) {
+    assert(r < rows);
+    ++s.row_ptr_[r + 1];
+  }
+  std::partial_sum(s.row_ptr_.begin(), s.row_ptr_.end(), s.row_ptr_.begin());
+  s.col_.resize(values.size());
+  s.val_.resize(values.size());
+  std::vector<std::size_t> cursor(s.row_ptr_.begin(), s.row_ptr_.end() - 1);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::size_t slot = cursor[row_idx[i]]++;
+    s.col_[slot] = col_idx[i];
+    s.val_[slot] = values[i];
+  }
+  return s;
+}
+
+Matrix SparseMatrix::multiply(const Matrix& x) const {
+  assert(x.rows() == cols_);
+  Matrix y(rows_, x.cols());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    float* yrow = y.data() + r * y.cols();
+    for (std::size_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      const float w = val_[e];
+      const float* xrow = x.data() + col_[e] * x.cols();
+      for (std::size_t j = 0; j < x.cols(); ++j) yrow[j] += w * xrow[j];
+    }
+  }
+  return y;
+}
+
+SparseMatrix SparseMatrix::transposed() const {
+  std::vector<std::uint32_t> r, c;
+  std::vector<float> v;
+  r.reserve(nnz());
+  c.reserve(nnz());
+  v.reserve(nnz());
+  for (std::size_t row = 0; row < rows_; ++row) {
+    for (std::size_t e = row_ptr_[row]; e < row_ptr_[row + 1]; ++e) {
+      r.push_back(col_[e]);
+      c.push_back(static_cast<std::uint32_t>(row));
+      v.push_back(val_[e]);
+    }
+  }
+  return from_coo(cols_, rows_, r, c, v);
+}
+
+void SparseMatrix::normalize_rows(const std::vector<float>& divisor) {
+  assert(divisor.size() == rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const float d = divisor[r];
+    if (d == 0.0f) continue;
+    for (std::size_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) val_[e] /= d;
+  }
+}
+
+void SparseMatrix::normalize_rows_by_degree() {
+  std::vector<float> degree(rows_, 0.0f);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    degree[r] = static_cast<float>(row_ptr_[r + 1] - row_ptr_[r]);
+  }
+  normalize_rows(degree);
+}
+
+}  // namespace ns::nn

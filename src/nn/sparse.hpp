@@ -1,0 +1,56 @@
+#pragma once
+/// \file sparse.hpp
+/// CSR sparse matrix with float weights. Used for the (constant) graph
+/// adjacency operators inside the neural models: message passing is a
+/// sparse-dense product `Y = S · X`, whose backward pass is `dX = Sᵀ · dY`.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace ns::nn {
+
+/// Compressed sparse row matrix.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Builds from COO triplets (duplicates are summed).
+  static SparseMatrix from_coo(std::size_t rows, std::size_t cols,
+                               const std::vector<std::uint32_t>& row_idx,
+                               const std::vector<std::uint32_t>& col_idx,
+                               const std::vector<float>& values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return col_.size(); }
+
+  /// Y = S * X  (dense result, rows() x X.cols()).
+  Matrix multiply(const Matrix& x) const;
+
+  /// The transposed matrix (materialized once, cached by callers).
+  SparseMatrix transposed() const;
+
+  /// Divides every row by `divisor[row]` (no-op rows where divisor is 0);
+  /// used for mean aggregation (Eq. 6's 1/|N(v)| factor).
+  void normalize_rows(const std::vector<float>& divisor);
+
+  /// Row-normalizes by the count of entries per row (mean aggregation).
+  void normalize_rows_by_degree();
+
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::uint32_t>& col() const { return col_; }
+  const std::vector<float>& val() const { return val_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;   // size rows_+1
+  std::vector<std::uint32_t> col_;
+  std::vector<float> val_;
+};
+
+}  // namespace ns::nn

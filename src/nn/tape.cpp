@@ -1,0 +1,447 @@
+#include "nn/tape.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ns::nn {
+
+TensorId Tape::push(Matrix value, std::function<void(Tape&)> backward_fn,
+                    Parameter* bound) {
+  Node n;
+  n.value = std::move(value);
+  n.grad = Matrix(n.value.rows(), n.value.cols());
+  n.backward_fn = std::move(backward_fn);
+  n.bound_param = bound;
+  nodes_.push_back(std::move(n));
+  return TensorId{static_cast<std::int32_t>(nodes_.size()) - 1};
+}
+
+TensorId Tape::constant(Matrix value) { return push(std::move(value), nullptr); }
+
+TensorId Tape::param(Parameter* p) { return push(p->value, nullptr, p); }
+
+// Each op computes its own output index (yi == nodes_.size() at call time)
+// before pushing, so the backward lambda can address value/grad by index —
+// never by pointer, because nodes_ may reallocate as the tape grows.
+
+TensorId Tape::matmul(TensorId a, TensorId b) {
+  const std::int32_t ai = a.idx, bi = b.idx;
+  const std::int32_t yi = static_cast<std::int32_t>(nodes_.size());
+  Matrix y = ns::nn::matmul(value_ref(ai), value_ref(bi));
+  return push(std::move(y), [ai, bi, yi](Tape& t) {
+    const Matrix& dy = t.grad_ref(yi);
+    // dA += dY · Bᵀ ; dB += Aᵀ · dY
+    t.grad_ref(ai).add_in_place(ns::nn::matmul_a_bt(dy, t.value_ref(bi)));
+    t.grad_ref(bi).add_in_place(ns::nn::matmul_at_b(t.value_ref(ai), dy));
+  });
+}
+
+TensorId Tape::matmul_at_b(TensorId a, TensorId b) {
+  const std::int32_t ai = a.idx, bi = b.idx;
+  const std::int32_t yi = static_cast<std::int32_t>(nodes_.size());
+  Matrix y = ns::nn::matmul_at_b(value_ref(ai), value_ref(bi));
+  return push(std::move(y), [ai, bi, yi](Tape& t) {
+    const Matrix& dy = t.grad_ref(yi);
+    // Y = Aᵀ·B: dA += B · dYᵀ ; dB += A · dY
+    t.grad_ref(ai).add_in_place(ns::nn::matmul_a_bt(t.value_ref(bi), dy));
+    t.grad_ref(bi).add_in_place(ns::nn::matmul(t.value_ref(ai), dy));
+  });
+}
+
+TensorId Tape::add(TensorId a, TensorId b) {
+  const std::int32_t ai = a.idx, bi = b.idx;
+  const std::int32_t yi = static_cast<std::int32_t>(nodes_.size());
+  Matrix y = value_ref(ai);
+  y.add_in_place(value_ref(bi));
+  return push(std::move(y), [ai, bi, yi](Tape& t) {
+    t.grad_ref(ai).add_in_place(t.grad_ref(yi));
+    t.grad_ref(bi).add_in_place(t.grad_ref(yi));
+  });
+}
+
+TensorId Tape::sub(TensorId a, TensorId b) {
+  const std::int32_t ai = a.idx, bi = b.idx;
+  const std::int32_t yi = static_cast<std::int32_t>(nodes_.size());
+  Matrix y = value_ref(ai);
+  const Matrix& vb = value_ref(bi);
+  for (std::size_t i = 0; i < y.size(); ++i) y.data()[i] -= vb.data()[i];
+  return push(std::move(y), [ai, bi, yi](Tape& t) {
+    const Matrix& dy = t.grad_ref(yi);
+    t.grad_ref(ai).add_in_place(dy);
+    Matrix& db = t.grad_ref(bi);
+    for (std::size_t i = 0; i < db.size(); ++i) db.data()[i] -= dy.data()[i];
+  });
+}
+
+TensorId Tape::hadamard(TensorId a, TensorId b) {
+  const std::int32_t ai = a.idx, bi = b.idx;
+  const std::int32_t yi = static_cast<std::int32_t>(nodes_.size());
+  const Matrix& va = value_ref(ai);
+  const Matrix& vb = value_ref(bi);
+  assert(va.same_shape(vb));
+  Matrix y(va.rows(), va.cols());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y.data()[i] = va.data()[i] * vb.data()[i];
+  }
+  return push(std::move(y), [ai, bi, yi](Tape& t) {
+    const Matrix& dy = t.grad_ref(yi);
+    const Matrix& va = t.value_ref(ai);
+    const Matrix& vb = t.value_ref(bi);
+    Matrix& da = t.grad_ref(ai);
+    Matrix& db = t.grad_ref(bi);
+    for (std::size_t i = 0; i < dy.size(); ++i) {
+      da.data()[i] += dy.data()[i] * vb.data()[i];
+      db.data()[i] += dy.data()[i] * va.data()[i];
+    }
+  });
+}
+
+TensorId Tape::scale(TensorId a, float s) {
+  const std::int32_t ai = a.idx;
+  const std::int32_t yi = static_cast<std::int32_t>(nodes_.size());
+  Matrix y = value_ref(ai);
+  y.scale_in_place(s);
+  return push(std::move(y), [ai, yi, s](Tape& t) {
+    const Matrix& dy = t.grad_ref(yi);
+    Matrix& da = t.grad_ref(ai);
+    for (std::size_t i = 0; i < dy.size(); ++i) {
+      da.data()[i] += s * dy.data()[i];
+    }
+  });
+}
+
+TensorId Tape::add_scalar(TensorId a, float s) {
+  const std::int32_t ai = a.idx;
+  const std::int32_t yi = static_cast<std::int32_t>(nodes_.size());
+  Matrix y = value_ref(ai);
+  for (std::size_t i = 0; i < y.size(); ++i) y.data()[i] += s;
+  return push(std::move(y), [ai, yi](Tape& t) {
+    t.grad_ref(ai).add_in_place(t.grad_ref(yi));
+  });
+}
+
+TensorId Tape::reciprocal(TensorId a) {
+  const std::int32_t ai = a.idx;
+  const std::int32_t yi = static_cast<std::int32_t>(nodes_.size());
+  const Matrix& va = value_ref(ai);
+  Matrix y(va.rows(), va.cols());
+  for (std::size_t i = 0; i < y.size(); ++i) y.data()[i] = 1.0f / va.data()[i];
+  return push(std::move(y), [ai, yi](Tape& t) {
+    const Matrix& dy = t.grad_ref(yi);
+    const Matrix& vy = t.value_ref(yi);
+    Matrix& da = t.grad_ref(ai);
+    for (std::size_t i = 0; i < dy.size(); ++i) {
+      da.data()[i] -= dy.data()[i] * vy.data()[i] * vy.data()[i];
+    }
+  });
+}
+
+TensorId Tape::relu(TensorId a) {
+  const std::int32_t ai = a.idx;
+  const std::int32_t yi = static_cast<std::int32_t>(nodes_.size());
+  Matrix y = value_ref(ai);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y.data()[i] < 0.0f) y.data()[i] = 0.0f;
+  }
+  return push(std::move(y), [ai, yi](Tape& t) {
+    const Matrix& dy = t.grad_ref(yi);
+    const Matrix& va = t.value_ref(ai);
+    Matrix& da = t.grad_ref(ai);
+    for (std::size_t i = 0; i < dy.size(); ++i) {
+      if (va.data()[i] > 0.0f) da.data()[i] += dy.data()[i];
+    }
+  });
+}
+
+TensorId Tape::sigmoid(TensorId a) {
+  const std::int32_t ai = a.idx;
+  const std::int32_t yi = static_cast<std::int32_t>(nodes_.size());
+  const Matrix& va = value_ref(ai);
+  Matrix y(va.rows(), va.cols());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y.data()[i] = 1.0f / (1.0f + std::exp(-va.data()[i]));
+  }
+  return push(std::move(y), [ai, yi](Tape& t) {
+    const Matrix& dy = t.grad_ref(yi);
+    const Matrix& vy = t.value_ref(yi);
+    Matrix& da = t.grad_ref(ai);
+    for (std::size_t i = 0; i < dy.size(); ++i) {
+      const float s = vy.data()[i];
+      da.data()[i] += dy.data()[i] * s * (1.0f - s);
+    }
+  });
+}
+
+TensorId Tape::tanh_fn(TensorId a) {
+  const std::int32_t ai = a.idx;
+  const std::int32_t yi = static_cast<std::int32_t>(nodes_.size());
+  const Matrix& va = value_ref(ai);
+  Matrix y(va.rows(), va.cols());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y.data()[i] = std::tanh(va.data()[i]);
+  }
+  return push(std::move(y), [ai, yi](Tape& t) {
+    const Matrix& dy = t.grad_ref(yi);
+    const Matrix& vy = t.value_ref(yi);
+    Matrix& da = t.grad_ref(ai);
+    for (std::size_t i = 0; i < dy.size(); ++i) {
+      const float th = vy.data()[i];
+      da.data()[i] += dy.data()[i] * (1.0f - th * th);
+    }
+  });
+}
+
+TensorId Tape::spmm(const SparseMatrix* s, const SparseMatrix* st,
+                    TensorId x) {
+  const std::int32_t xi = x.idx;
+  const std::int32_t yi = static_cast<std::int32_t>(nodes_.size());
+  Matrix y = s->multiply(value_ref(xi));
+  return push(std::move(y), [st, xi, yi](Tape& t) {
+    t.grad_ref(xi).add_in_place(st->multiply(t.grad_ref(yi)));
+  });
+}
+
+TensorId Tape::frobenius_normalize(TensorId a) {
+  const std::int32_t ai = a.idx;
+  const std::int32_t yi = static_cast<std::int32_t>(nodes_.size());
+  const Matrix& va = value_ref(ai);
+  const float norm = va.frobenius_norm();
+  const float inv = norm > 0.0f ? 1.0f / norm : 0.0f;
+  Matrix y = va;
+  y.scale_in_place(inv);
+  return push(std::move(y), [ai, yi, norm, inv](Tape& t) {
+    if (norm == 0.0f) return;
+    const Matrix& dy = t.grad_ref(yi);
+    const Matrix& va = t.value_ref(ai);
+    // d/dX (X/‖X‖) : dX = dY/‖X‖ − X · (Σ dY∘X) / ‖X‖³
+    double dot = 0.0;
+    for (std::size_t i = 0; i < dy.size(); ++i) {
+      dot += static_cast<double>(dy.data()[i]) * va.data()[i];
+    }
+    const float k = static_cast<float>(dot) * inv * inv * inv;
+    Matrix& da = t.grad_ref(ai);
+    for (std::size_t i = 0; i < dy.size(); ++i) {
+      da.data()[i] += dy.data()[i] * inv - va.data()[i] * k;
+    }
+  });
+}
+
+TensorId Tape::add_row_broadcast(TensorId x, TensorId bias_row) {
+  const std::int32_t xi = x.idx, bi = bias_row.idx;
+  const std::int32_t yi = static_cast<std::int32_t>(nodes_.size());
+  const Matrix& vx = value_ref(xi);
+  const Matrix& vb = value_ref(bi);
+  assert(vb.rows() == 1 && vb.cols() == vx.cols());
+  Matrix y = vx;
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    for (std::size_t c = 0; c < y.cols(); ++c) y.at(r, c) += vb.at(0, c);
+  }
+  return push(std::move(y), [xi, bi, yi](Tape& t) {
+    const Matrix& dy = t.grad_ref(yi);
+    t.grad_ref(xi).add_in_place(dy);
+    Matrix& db = t.grad_ref(bi);
+    for (std::size_t r = 0; r < dy.rows(); ++r) {
+      for (std::size_t c = 0; c < dy.cols(); ++c) {
+        db.at(0, c) += dy.at(r, c);
+      }
+    }
+  });
+}
+
+TensorId Tape::broadcast_row(TensorId row, std::size_t n) {
+  const std::int32_t ri = row.idx;
+  const std::int32_t yi = static_cast<std::int32_t>(nodes_.size());
+  const Matrix& vr = value_ref(ri);
+  assert(vr.rows() == 1);
+  Matrix y(n, vr.cols());
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < vr.cols(); ++c) y.at(r, c) = vr.at(0, c);
+  }
+  return push(std::move(y), [ri, yi](Tape& t) {
+    const Matrix& dy = t.grad_ref(yi);
+    Matrix& dr = t.grad_ref(ri);
+    for (std::size_t r = 0; r < dy.rows(); ++r) {
+      for (std::size_t c = 0; c < dy.cols(); ++c) {
+        dr.at(0, c) += dy.at(r, c);
+      }
+    }
+  });
+}
+
+TensorId Tape::row_mul(TensorId x, TensorId s) {
+  const std::int32_t xi = x.idx, si = s.idx;
+  const std::int32_t yi = static_cast<std::int32_t>(nodes_.size());
+  const Matrix& vx = value_ref(xi);
+  const Matrix& vs = value_ref(si);
+  assert(vs.rows() == vx.rows() && vs.cols() == 1);
+  Matrix y = vx;
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    const float f = vs.at(r, 0);
+    for (std::size_t c = 0; c < y.cols(); ++c) y.at(r, c) *= f;
+  }
+  return push(std::move(y), [xi, si, yi](Tape& t) {
+    const Matrix& dy = t.grad_ref(yi);
+    const Matrix& vx = t.value_ref(xi);
+    const Matrix& vs = t.value_ref(si);
+    Matrix& dx = t.grad_ref(xi);
+    Matrix& ds = t.grad_ref(si);
+    for (std::size_t r = 0; r < dy.rows(); ++r) {
+      const float f = vs.at(r, 0);
+      double acc = 0.0;
+      for (std::size_t c = 0; c < dy.cols(); ++c) {
+        dx.at(r, c) += dy.at(r, c) * f;
+        acc += static_cast<double>(dy.at(r, c)) * vx.at(r, c);
+      }
+      ds.at(r, 0) += static_cast<float>(acc);
+    }
+  });
+}
+
+TensorId Tape::scalar_mul(TensorId x, TensorId s) {
+  const std::int32_t xi = x.idx, si = s.idx;
+  const std::int32_t yi = static_cast<std::int32_t>(nodes_.size());
+  const Matrix& vx = value_ref(xi);
+  const Matrix& vs = value_ref(si);
+  assert(vs.rows() == 1 && vs.cols() == 1);
+  Matrix y = vx;
+  y.scale_in_place(vs.at(0, 0));
+  return push(std::move(y), [xi, si, yi](Tape& t) {
+    const Matrix& dy = t.grad_ref(yi);
+    const Matrix& vx = t.value_ref(xi);
+    const float s = t.value_ref(si).at(0, 0);
+    Matrix& dx = t.grad_ref(xi);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < dy.size(); ++i) {
+      dx.data()[i] += dy.data()[i] * s;
+      acc += static_cast<double>(dy.data()[i]) * vx.data()[i];
+    }
+    t.grad_ref(si).at(0, 0) += static_cast<float>(acc);
+  });
+}
+
+TensorId Tape::mean_rows(TensorId a) {
+  const std::int32_t ai = a.idx;
+  const std::int32_t yi = static_cast<std::int32_t>(nodes_.size());
+  const Matrix& va = value_ref(ai);
+  assert(va.rows() > 0);
+  Matrix y(1, va.cols());
+  for (std::size_t r = 0; r < va.rows(); ++r) {
+    for (std::size_t c = 0; c < va.cols(); ++c) y.at(0, c) += va.at(r, c);
+  }
+  const float inv = 1.0f / static_cast<float>(va.rows());
+  y.scale_in_place(inv);
+  return push(std::move(y), [ai, yi, inv](Tape& t) {
+    const Matrix& dy = t.grad_ref(yi);
+    Matrix& da = t.grad_ref(ai);
+    for (std::size_t r = 0; r < da.rows(); ++r) {
+      for (std::size_t c = 0; c < da.cols(); ++c) {
+        da.at(r, c) += dy.at(0, c) * inv;
+      }
+    }
+  });
+}
+
+TensorId Tape::concat_cols(TensorId a, TensorId b) {
+  const std::int32_t ai = a.idx, bi = b.idx;
+  const std::int32_t yi = static_cast<std::int32_t>(nodes_.size());
+  const Matrix& va = value_ref(ai);
+  const Matrix& vb = value_ref(bi);
+  assert(va.rows() == vb.rows());
+  Matrix y(va.rows(), va.cols() + vb.cols());
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    for (std::size_t c = 0; c < va.cols(); ++c) y.at(r, c) = va.at(r, c);
+    for (std::size_t c = 0; c < vb.cols(); ++c) {
+      y.at(r, va.cols() + c) = vb.at(r, c);
+    }
+  }
+  return push(std::move(y), [ai, bi, yi](Tape& t) {
+    const Matrix& dy = t.grad_ref(yi);
+    Matrix& da = t.grad_ref(ai);
+    Matrix& db = t.grad_ref(bi);
+    for (std::size_t r = 0; r < dy.rows(); ++r) {
+      for (std::size_t c = 0; c < da.cols(); ++c) da.at(r, c) += dy.at(r, c);
+      for (std::size_t c = 0; c < db.cols(); ++c) {
+        db.at(r, c) += dy.at(r, da.cols() + c);
+      }
+    }
+  });
+}
+
+TensorId Tape::slice_cols(TensorId a, std::size_t start, std::size_t len) {
+  const std::int32_t ai = a.idx;
+  const std::int32_t yi = static_cast<std::int32_t>(nodes_.size());
+  const Matrix& va = value_ref(ai);
+  assert(start + len <= va.cols());
+  Matrix y(va.rows(), len);
+  for (std::size_t r = 0; r < va.rows(); ++r) {
+    for (std::size_t c = 0; c < len; ++c) y.at(r, c) = va.at(r, start + c);
+  }
+  return push(std::move(y), [ai, yi, start, len](Tape& t) {
+    const Matrix& dy = t.grad_ref(yi);
+    Matrix& da = t.grad_ref(ai);
+    for (std::size_t r = 0; r < dy.rows(); ++r) {
+      for (std::size_t c = 0; c < len; ++c) {
+        da.at(r, start + c) += dy.at(r, c);
+      }
+    }
+  });
+}
+
+TensorId Tape::permute_rows(TensorId a, std::vector<std::uint32_t> perm) {
+  const std::int32_t ai = a.idx;
+  const std::int32_t yi = static_cast<std::int32_t>(nodes_.size());
+  const Matrix& va = value_ref(ai);
+  assert(perm.size() == va.rows());
+  Matrix y(va.rows(), va.cols());
+  for (std::size_t r = 0; r < va.rows(); ++r) {
+    for (std::size_t c = 0; c < va.cols(); ++c) {
+      y.at(r, c) = va.at(perm[r], c);
+    }
+  }
+  return push(std::move(y), [ai, yi, perm = std::move(perm)](Tape& t) {
+    const Matrix& dy = t.grad_ref(yi);
+    Matrix& da = t.grad_ref(ai);
+    for (std::size_t r = 0; r < dy.rows(); ++r) {
+      for (std::size_t c = 0; c < dy.cols(); ++c) {
+        da.at(perm[r], c) += dy.at(r, c);
+      }
+    }
+  });
+}
+
+TensorId Tape::bce_with_logits(TensorId logit, float target,
+                               float pos_weight) {
+  const std::int32_t li = logit.idx;
+  const std::int32_t yi = static_cast<std::int32_t>(nodes_.size());
+  const Matrix& vl = value_ref(li);
+  assert(vl.rows() == 1 && vl.cols() == 1);
+  const float x = vl.at(0, 0);
+  // softplus(x) = max(x,0) + log1p(exp(-|x|)), numerically stable.
+  const float sp_pos = std::max(x, 0.0f) + std::log1p(std::exp(-std::abs(x)));
+  const float sp_neg = sp_pos - x;  // softplus(-x)
+  const float loss =
+      pos_weight * target * sp_neg + (1.0f - target) * sp_pos;
+  Matrix y(1, 1);
+  y.at(0, 0) = loss;
+  return push(std::move(y), [li, yi, target, pos_weight](Tape& t) {
+    const float x = t.value_ref(li).at(0, 0);
+    const float s = 1.0f / (1.0f + std::exp(-x));
+    const float dx =
+        pos_weight * target * (s - 1.0f) + (1.0f - target) * s;
+    t.grad_ref(li).at(0, 0) += t.grad_ref(yi).at(0, 0) * dx;
+  });
+}
+
+void Tape::backward(TensorId loss) {
+  for (Node& n : nodes_) n.grad.fill(0.0f);
+  nodes_[loss.idx].grad.fill(1.0f);
+  for (std::int32_t i = static_cast<std::int32_t>(nodes_.size()) - 1; i >= 0;
+       --i) {
+    if (nodes_[i].backward_fn) nodes_[i].backward_fn(*this);
+    if (nodes_[i].bound_param) {
+      nodes_[i].bound_param->grad.add_in_place(nodes_[i].grad);
+    }
+  }
+}
+
+}  // namespace ns::nn

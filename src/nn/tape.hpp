@@ -1,0 +1,141 @@
+#pragma once
+/// \file tape.hpp
+/// Reverse-mode automatic differentiation on dense matrices.
+///
+/// A `Tape` records a forward computation as a sequence of nodes; calling
+/// `backward(loss)` seeds d(loss)/d(loss) = 1 and walks the tape in reverse,
+/// accumulating gradients. Leaves bound to `Parameter`s receive their
+/// gradients automatically (`Parameter::grad += node grad`), so a training
+/// step is: build tape → forward → backward → optimizer step → discard tape.
+///
+/// The op set is exactly what the paper's models need: dense/sparse matrix
+/// products, elementwise arithmetic and activations, Frobenius
+/// normalization (Eq. 8), row scaling (the D⁻¹ of Eq. 9), broadcasting,
+/// reductions, slicing/concatenation (LSTM gates), row permutation (the
+/// literal-flip of NeuroSAT), and a numerically stable BCE-with-logits loss
+/// (Eq. 11).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nn/matrix.hpp"
+#include "nn/sparse.hpp"
+
+namespace ns::nn {
+
+/// A trainable tensor with persistent gradient and Adam state.
+struct Parameter {
+  Matrix value;
+  Matrix grad;
+
+  explicit Parameter(Matrix v = {})
+      : value(std::move(v)), grad(value.rows(), value.cols()) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+/// Handle to a tensor recorded on a Tape.
+struct TensorId {
+  std::int32_t idx = -1;
+  bool valid() const { return idx >= 0; }
+};
+
+/// One recorded forward computation.
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  // --- leaves ---------------------------------------------------------
+  /// Constant input (receives a gradient buffer but nothing reads it).
+  TensorId constant(Matrix value);
+
+  /// Leaf bound to a Parameter: backward() adds into `p->grad`.
+  TensorId param(Parameter* p);
+
+  // --- dense algebra -----------------------------------------------------
+  TensorId matmul(TensorId a, TensorId b);          ///< A·B
+  TensorId matmul_at_b(TensorId a, TensorId b);     ///< Aᵀ·B
+  TensorId add(TensorId a, TensorId b);
+  TensorId sub(TensorId a, TensorId b);
+  TensorId hadamard(TensorId a, TensorId b);        ///< elementwise product
+  TensorId scale(TensorId a, float s);
+  TensorId add_scalar(TensorId a, float s);
+  TensorId reciprocal(TensorId a);                  ///< elementwise 1/x
+
+  // --- activations ------------------------------------------------------
+  TensorId relu(TensorId a);
+  TensorId sigmoid(TensorId a);
+  TensorId tanh_fn(TensorId a);
+
+  // --- graph / structure ops ---------------------------------------------
+  /// Y = S·X with constant sparse S; `st` must be S transposed. Both must
+  /// outlive the tape.
+  TensorId spmm(const SparseMatrix* s, const SparseMatrix* st, TensorId x);
+
+  /// Y = X / ‖X‖_F (Eq. 8's Q̃, K̃).
+  TensorId frobenius_normalize(TensorId a);
+
+  /// Y = X + 1·b, bias row `b` (1×d) broadcast over rows.
+  TensorId add_row_broadcast(TensorId x, TensorId bias_row);
+
+  /// Y (n×d) = row (1×d) repeated n times.
+  TensorId broadcast_row(TensorId row, std::size_t n);
+
+  /// Y_ij = X_ij * s_i with s an (N×1) column (Eq. 9's D⁻¹ application).
+  TensorId row_mul(TensorId x, TensorId s);
+
+  /// Y = X * s with s a trainable (1×1) scalar node (ReZero-style gates).
+  TensorId scalar_mul(TensorId x, TensorId s);
+
+  /// Column mean over rows: (N×d) → (1×d) (the READOUT of Eq. 10).
+  TensorId mean_rows(TensorId a);
+
+  /// Horizontal concatenation [A | B].
+  TensorId concat_cols(TensorId a, TensorId b);
+
+  /// Column slice [start, start+len).
+  TensorId slice_cols(TensorId a, std::size_t start, std::size_t len);
+
+  /// Y[i] = X[perm[i]]; `perm` must be a permutation of the row indices.
+  TensorId permute_rows(TensorId a, std::vector<std::uint32_t> perm);
+
+  // --- losses -----------------------------------------------------------
+  /// Numerically stable binary cross-entropy on a (1×1) logit (Eq. 11).
+  /// `pos_weight` scales the positive-class term (class rebalancing):
+  /// loss = pos_weight·y·softplus(-x) + (1-y)·softplus(x).
+  TensorId bce_with_logits(TensorId logit, float target,
+                           float pos_weight = 1.0f);
+
+  // --- execution ---------------------------------------------------------
+  const Matrix& value(TensorId id) const { return nodes_[id.idx].value; }
+  const Matrix& grad(TensorId id) const { return nodes_[id.idx].grad; }
+
+  /// Runs reverse-mode accumulation from `loss` (any shape; seeded with 1s)
+  /// and adds leaf gradients into their bound Parameters.
+  void backward(TensorId loss);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Matrix value;
+    Matrix grad;
+    std::function<void(Tape&)> backward_fn;  ///< nullptr for leaves
+    Parameter* bound_param = nullptr;
+  };
+
+  TensorId push(Matrix value, std::function<void(Tape&)> backward_fn,
+                Parameter* bound = nullptr);
+
+  Matrix& grad_ref(std::int32_t idx) { return nodes_[idx].grad; }
+  const Matrix& value_ref(std::int32_t idx) const {
+    return nodes_[idx].value;
+  }
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace ns::nn

@@ -1,0 +1,20 @@
+#include "policy/deletion_policy.hpp"
+
+namespace ns::policy {
+
+std::unique_ptr<DeletionPolicy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFrequency:
+      return std::make_unique<FrequencyPolicy>();
+    case PolicyKind::kDefault:
+    default:
+      return std::make_unique<DefaultPolicy>();
+  }
+}
+
+PolicyKind policy_kind_from_name(const std::string& name) {
+  if (name == "frequency") return PolicyKind::kFrequency;
+  return PolicyKind::kDefault;
+}
+
+}  // namespace ns::policy

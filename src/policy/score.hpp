@@ -1,0 +1,63 @@
+#pragma once
+/// \file score.hpp
+/// 64-bit packed clause-retention scores (paper Fig. 5).
+///
+/// A learned clause's usefulness is summarized as one 64-bit unsigned
+/// integer; during database reduction, clauses are deleted in ascending
+/// score order (lower score = less valuable). Fields written higher in the
+/// word dominate the comparison. `~x` denotes element-wise negation within
+/// the field ("lower raw value => higher score"), implemented as
+/// `field_max - clamp(x)`.
+///
+/// Layouts (MSB..LSB):
+///   Default (Kissat):      [63..32] ~glue   | [31..0] ~size
+///   Frequency-guided:      [63..44] freq    | [43..24] ~size | [23..0] ~glue
+///
+/// The frequency-guided layout follows the Fig. 5 label order
+/// (frequency, ~size, ~glue read MSB-first); see DESIGN.md §3 for the
+/// extraction ambiguity discussion.
+
+#include <cstdint>
+
+namespace ns::policy {
+
+/// Raw inputs to clause scoring, gathered by the solver at reduce time.
+struct ClauseFeatures {
+  std::uint32_t glue = 0;       ///< LBD: #distinct decision levels in clause
+  std::uint32_t size = 0;       ///< number of literals
+  std::uint32_t frequency = 0;  ///< Eq. 2 hot-variable count (0 if untracked)
+};
+
+namespace detail {
+
+/// Clamps `x` to `bits`-wide field capacity.
+inline constexpr std::uint64_t clamp_field(std::uint64_t x, unsigned bits) {
+  const std::uint64_t cap = (bits >= 64) ? ~0ull : ((1ull << bits) - 1);
+  return x > cap ? cap : x;
+}
+
+/// Element-wise negation within a `bits`-wide field: 0 maps to field max.
+inline constexpr std::uint64_t negate_field(std::uint64_t x, unsigned bits) {
+  const std::uint64_t cap = (bits >= 64) ? ~0ull : ((1ull << bits) - 1);
+  return cap - clamp_field(x, bits);
+}
+
+}  // namespace detail
+
+/// Default Kissat score: ~glue primary (bits 63..32), ~size secondary
+/// (bits 31..0). Low glue beats everything; ties break toward small clauses.
+inline constexpr std::uint64_t pack_default_score(const ClauseFeatures& f) {
+  return (detail::negate_field(f.glue, 32) << 32) |
+         detail::negate_field(f.size, 32);
+}
+
+/// Frequency-guided score: frequency primary (bits 63..44), ~size secondary
+/// (bits 43..24), ~glue tertiary (bits 23..0). Clauses rich in hot
+/// (frequently propagating) variables are retained first.
+inline constexpr std::uint64_t pack_frequency_score(const ClauseFeatures& f) {
+  return (detail::clamp_field(f.frequency, 20) << 44) |
+         (detail::negate_field(f.size, 20) << 24) |
+         detail::negate_field(f.glue, 24);
+}
+
+}  // namespace ns::policy

@@ -1,0 +1,26 @@
+#include "solver/clause_db.hpp"
+
+namespace ns::solver {
+
+void ClauseDb::collect_garbage() {
+  std::vector<std::uint32_t> compacted;
+  compacted.reserve(data_.size() - garbage_words_);
+  forwarding_.assign(data_.size(), kInvalidClause);
+
+  std::size_t off = 0;
+  while (off < data_.size()) {
+    const std::uint32_t size = data_[off];
+    const std::uint32_t words = kHeaderWords + size;
+    const ClauseView c(data_.data() + off);
+    if (!c.garbage()) {
+      forwarding_[off] = static_cast<ClauseRef>(compacted.size());
+      compacted.insert(compacted.end(), data_.begin() + off,
+                       data_.begin() + off + words);
+    }
+    off += words;
+  }
+  data_ = std::move(compacted);
+  garbage_words_ = 0;
+}
+
+}  // namespace ns::solver

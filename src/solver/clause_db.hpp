@@ -1,0 +1,170 @@
+#pragma once
+/// \file clause_db.hpp
+/// Arena-backed clause storage for the CDCL solver.
+///
+/// All clauses (original and learned) live contiguously in one
+/// std::vector<uint32_t>; a clause is addressed by its offset (`ClauseRef`).
+/// Layout per clause:
+///   word 0: size (number of literals)
+///   word 1: flags  — bit 0 learned, bit 1 garbage, bit 2 reason-protected,
+///                    bit 3 used-since-last-reduce; glue (LBD) in bits 8..31
+///   word 2: activity (float, bit-cast)
+///   word 3..3+size-1: literal codes
+///
+/// Garbage collection is a compacting copy: callers first mark clauses
+/// garbage, then run `collect_garbage`, then remap every stored ClauseRef
+/// through the returned forwarding table.
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "cnf/types.hpp"
+
+namespace ns::solver {
+
+/// Offset of a clause inside the arena.
+using ClauseRef = std::uint32_t;
+inline constexpr ClauseRef kInvalidClause = static_cast<ClauseRef>(-1);
+
+/// Mutable proxy to one clause inside the arena.
+class ClauseView {
+ public:
+  ClauseView(std::uint32_t* base) : base_(base) {}
+
+  std::uint32_t size() const { return base_[0]; }
+
+  bool learned() const { return (base_[1] & kLearnedBit) != 0; }
+  bool garbage() const { return (base_[1] & kGarbageBit) != 0; }
+  bool protected_reason() const { return (base_[1] & kProtectedBit) != 0; }
+  bool used() const { return (base_[1] & kUsedBit) != 0; }
+
+  void set_garbage(bool on) { set_flag(kGarbageBit, on); }
+  void set_protected_reason(bool on) { set_flag(kProtectedBit, on); }
+  void set_used(bool on) { set_flag(kUsedBit, on); }
+
+  std::uint32_t glue() const { return base_[1] >> kGlueShift; }
+  void set_glue(std::uint32_t g) {
+    base_[1] = (base_[1] & kFlagMask) | (g << kGlueShift);
+  }
+
+  float activity() const { return std::bit_cast<float>(base_[2]); }
+  void set_activity(float a) { base_[2] = std::bit_cast<std::uint32_t>(a); }
+
+  Lit lit(std::uint32_t i) const {
+    assert(i < size());
+    return Lit::from_code(base_[3 + i]);
+  }
+  void set_lit(std::uint32_t i, Lit l) {
+    assert(i < size());
+    base_[3 + i] = l.code();
+  }
+
+  /// Shrinks the clause in place (used by in-processing / strengthening).
+  void shrink(std::uint32_t new_size) {
+    assert(new_size <= size());
+    base_[0] = new_size;
+  }
+
+  Lit* begin() { return reinterpret_cast<Lit*>(base_ + 3); }
+  Lit* end() { return begin() + size(); }
+  const Lit* begin() const { return reinterpret_cast<const Lit*>(base_ + 3); }
+  const Lit* end() const { return begin() + size(); }
+
+  static constexpr std::uint32_t kLearnedBit = 1u << 0;
+  static constexpr std::uint32_t kGarbageBit = 1u << 1;
+  static constexpr std::uint32_t kProtectedBit = 1u << 2;
+  static constexpr std::uint32_t kUsedBit = 1u << 3;
+  static constexpr std::uint32_t kFlagMask = 0xFFu;
+  static constexpr unsigned kGlueShift = 8;
+
+ private:
+  void set_flag(std::uint32_t bit, bool on) {
+    if (on)
+      base_[1] |= bit;
+    else
+      base_[1] &= ~bit;
+  }
+
+  std::uint32_t* base_;
+};
+
+/// The arena itself.
+class ClauseDb {
+ public:
+  static constexpr std::uint32_t kHeaderWords = 3;
+
+  /// Appends a clause; returns its reference.
+  ClauseRef add(const std::vector<Lit>& lits, bool learned,
+                std::uint32_t glue) {
+    const ClauseRef ref = static_cast<ClauseRef>(data_.size());
+    data_.push_back(static_cast<std::uint32_t>(lits.size()));
+    data_.push_back((learned ? ClauseView::kLearnedBit : 0u) |
+                    (glue << ClauseView::kGlueShift));
+    data_.push_back(std::bit_cast<std::uint32_t>(0.0f));
+    for (Lit l : lits) data_.push_back(l.code());
+    if (learned) ++num_learned_;
+    ++num_clauses_;
+    return ref;
+  }
+
+  ClauseView view(ClauseRef ref) {
+    assert(ref + kHeaderWords <= data_.size());
+    return ClauseView(data_.data() + ref);
+  }
+  const ClauseView view(ClauseRef ref) const {
+    return ClauseView(const_cast<std::uint32_t*>(data_.data() + ref));
+  }
+
+  /// Marks a clause garbage (idempotent). Does not free memory.
+  void mark_garbage(ClauseRef ref) {
+    ClauseView c = view(ref);
+    if (c.garbage()) return;
+    c.set_garbage(true);
+    if (c.learned()) --num_learned_;
+    --num_clauses_;
+    garbage_words_ += kHeaderWords + c.size();
+  }
+
+  std::size_t num_clauses() const { return num_clauses_; }
+  std::size_t num_learned() const { return num_learned_; }
+  std::size_t arena_words() const { return data_.size(); }
+  std::size_t garbage_words() const { return garbage_words_; }
+
+  /// Visits every live clause reference in arena order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::size_t off = 0;
+    while (off < data_.size()) {
+      const std::uint32_t size = data_[off];
+      ClauseView c = ClauseView(const_cast<std::uint32_t*>(data_.data() + off));
+      if (!c.garbage()) fn(static_cast<ClauseRef>(off), c);
+      off += kHeaderWords + size;
+    }
+  }
+
+  /// Compacts the arena, dropping garbage clauses. Returns a forwarding
+  /// function usable to remap old references; references to garbage clauses
+  /// map to kInvalidClause. The forwarding table is valid until the next
+  /// mutation of the database.
+  void collect_garbage();
+
+  /// Remaps an old reference after collect_garbage().
+  ClauseRef forward(ClauseRef old_ref) const {
+    assert(old_ref < forwarding_.size());
+    return forwarding_[old_ref];
+  }
+
+  /// True when a collection has been run and `forward` is meaningful.
+  bool has_forwarding() const { return !forwarding_.empty(); }
+
+ private:
+  std::vector<std::uint32_t> data_;
+  std::vector<ClauseRef> forwarding_;
+  std::size_t num_clauses_ = 0;
+  std::size_t num_learned_ = 0;
+  std::size_t garbage_words_ = 0;
+};
+
+}  // namespace ns::solver

@@ -1,0 +1,23 @@
+#pragma once
+/// \file luby.hpp
+/// The Luby restart sequence 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,... used by the
+/// kLuby restart schedule (Luby, Sinclair, Zuckerman 1993).
+
+#include <cstdint>
+
+namespace ns::solver {
+
+/// Returns the i-th element (1-based) of the Luby sequence.
+inline std::uint64_t luby(std::uint64_t i) {
+  // Find the subsequence [2^k - 1] containing i.
+  std::uint64_t k = 1;
+  while ((1ull << k) - 1 < i) ++k;
+  while ((1ull << k) - 1 != i) {
+    i -= (1ull << (k - 1)) - 1;
+    k = 1;
+    while ((1ull << k) - 1 < i) ++k;
+  }
+  return 1ull << (k - 1);
+}
+
+}  // namespace ns::solver

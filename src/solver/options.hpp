@@ -1,0 +1,64 @@
+#pragma once
+/// \file options.hpp
+/// Tunable solver parameters. Defaults follow mainstream CDCL practice
+/// (MiniSat/Glucose/Kissat lineage); everything is overridable per run so
+/// benches can sweep them.
+
+#include <cstdint>
+
+#include "policy/deletion_policy.hpp"
+
+namespace ns::solver {
+
+/// Restart scheduling strategies.
+enum class RestartMode : std::uint8_t {
+  kLuby,        ///< Luby sequence scaled by restart_interval
+  kGlucoseEma,  ///< fast/slow LBD exponential moving averages
+  kNone,        ///< never restart (for experiments)
+};
+
+/// Decision-variable selection heuristics.
+enum class DecisionMode : std::uint8_t {
+  kEvsids,  ///< exponential VSIDS (activity heap)
+  kVmtf,    ///< variable move-to-front queue (Kissat "focused" mode)
+};
+
+/// All knobs of the CDCL engine.
+struct SolverOptions {
+  // --- decision heuristic ------------------------------------------------
+  DecisionMode decision_mode = DecisionMode::kEvsids;
+  double var_decay = 0.95;          ///< EVSIDS activity decay per conflict
+  double random_decision_freq = 0.0;  ///< fraction of random branches
+
+  // --- restarts ------------------------------------------------------------
+  RestartMode restart_mode = RestartMode::kGlucoseEma;
+  std::uint64_t restart_interval = 256;  ///< base for Luby; min gap for EMA
+  double ema_fast_alpha = 1.0 / 32.0;    ///< fast LBD EMA coefficient
+  double ema_slow_alpha = 1.0 / 4096.0;  ///< slow LBD EMA coefficient
+  double restart_margin = 1.25;  ///< restart when fast > margin * slow
+
+  // --- clause database reduction -------------------------------------------
+  policy::PolicyKind deletion_policy = policy::PolicyKind::kDefault;
+  /// Reduce cadence: tuned for the suite's instance scale (10²-10³ vars) so
+  /// several reductions fire per solve; big-iron solvers use larger bases.
+  std::uint64_t reduce_interval = 100;  ///< conflicts before first reduce
+  std::uint64_t reduce_interval_inc = 50;  ///< added after every reduce
+  double reduce_fraction = 0.65;  ///< fraction of reducible clauses deleted
+  std::uint32_t keep_glue = 2;   ///< glue <= this is never reducible ("core")
+  double frequency_alpha = 0.8;  ///< Eq. 2 threshold for kFrequency (4/5)
+  std::uint32_t clause_activity_bump = 1;  ///< bump used clauses on conflict
+
+  // --- preprocessing ---------------------------------------------------------
+  /// Run root-level simplification (unit propagation, pure literals,
+  /// subsumption; see simplify.hpp) before the search.
+  bool preprocess = false;
+
+  // --- budgets (the "timeout" proxy; 0 = unlimited) -------------------------
+  std::uint64_t max_conflicts = 0;
+  std::uint64_t max_propagations = 0;
+
+  // --- determinism -----------------------------------------------------------
+  std::uint64_t seed = 0;  ///< seeds the (rarely used) random branch picker
+};
+
+}  // namespace ns::solver

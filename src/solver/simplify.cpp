@@ -1,0 +1,165 @@
+#include "solver/simplify.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ns::solver {
+namespace {
+
+/// Hash for sorted clauses (used for duplicate detection).
+struct ClauseHash {
+  std::size_t operator()(const Clause& c) const noexcept {
+    std::size_t h = 0x9e3779b97f4a7c15ull;
+    for (const Lit l : c) h = h * 1099511628211ull ^ l.code();
+    return h;
+  }
+};
+
+/// True when `small` subsumes `big` (both sorted): small ⊆ big.
+bool subsumes(const Clause& small, const Clause& big) {
+  if (small.size() > big.size()) return false;
+  std::size_t j = 0;
+  for (const Lit l : small) {
+    while (j < big.size() && big[j] < l) ++j;
+    if (j == big.size() || big[j] != l) return false;
+    ++j;
+  }
+  return true;
+}
+
+}  // namespace
+
+Model SimplifyResult::complete_model(Model model) const {
+  for (std::size_t v = 0; v < fixed.size(); ++v) {
+    if (fixed[v] != LBool::kUndef) model[v] = fixed[v] == LBool::kTrue;
+  }
+  return model;
+}
+
+SimplifyResult simplify(const CnfFormula& input,
+                        const SimplifyOptions& options) {
+  SimplifyResult result;
+  const std::size_t n = input.num_vars();
+  result.fixed.assign(n, LBool::kUndef);
+
+  // Working set of sorted clauses (CnfFormula stores clauses sorted).
+  std::vector<Clause> clauses = input.clauses();
+  std::vector<LBool>& value = result.fixed;
+
+  const auto lit_value = [&](Lit l) {
+    const LBool v = value[l.var()];
+    if (v == LBool::kUndef) return LBool::kUndef;
+    return l.negated() ? negate(v) : v;
+  };
+
+  bool changed = true;
+  bool contradiction = input.has_empty_clause();
+  while (changed && !contradiction) {
+    changed = false;
+
+    // 1. Strip falsified literals, drop satisfied clauses, find units.
+    std::vector<Clause> next;
+    next.reserve(clauses.size());
+    for (Clause& c : clauses) {
+      bool satisfied = false;
+      Clause reduced;
+      reduced.reserve(c.size());
+      for (const Lit l : c) {
+        const LBool v = lit_value(l);
+        if (v == LBool::kTrue) {
+          satisfied = true;
+          break;
+        }
+        if (v == LBool::kUndef) reduced.push_back(l);
+      }
+      if (satisfied) {
+        ++result.removed_clauses;
+        changed = true;
+        continue;
+      }
+      result.removed_literals += c.size() - reduced.size();
+      if (reduced.size() != c.size()) changed = true;
+      if (reduced.empty()) {
+        contradiction = true;
+        next.push_back(std::move(reduced));
+        break;
+      }
+      if (reduced.size() == 1) {
+        const Lit unit = reduced[0];
+        value[unit.var()] = to_lbool(!unit.negated());
+        ++result.fixed_units;
+        ++result.removed_clauses;
+        changed = true;
+        continue;  // the unit is recorded in `fixed`, not kept as a clause
+      }
+      next.push_back(std::move(reduced));
+    }
+    clauses = std::move(next);
+    if (contradiction) break;
+
+    // 2. Pure-literal elimination over the remaining clauses.
+    if (!options.pure_literals) continue;
+    std::vector<std::uint8_t> polarity(n, 0);  // bit0 positive, bit1 negative
+    for (const Clause& c : clauses) {
+      for (const Lit l : c) {
+        polarity[l.var()] |= l.negated() ? 2 : 1;
+      }
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      if (value[v] != LBool::kUndef) continue;
+      if (polarity[v] == 1 || polarity[v] == 2) {
+        value[v] = polarity[v] == 1 ? LBool::kTrue : LBool::kFalse;
+        ++result.fixed_pures;
+        changed = true;
+      }
+    }
+  }
+
+  if (!contradiction) {
+    // 3. Duplicate removal, then forward subsumption (sorted by size so a
+    // clause can only be subsumed by an earlier, not-larger one).
+    std::unordered_set<Clause, ClauseHash> unique;
+    std::vector<Clause> deduped;
+    deduped.reserve(clauses.size());
+    for (Clause& c : clauses) {
+      if (unique.insert(c).second) {
+        deduped.push_back(std::move(c));
+      } else {
+        ++result.removed_clauses;
+      }
+    }
+    std::stable_sort(deduped.begin(), deduped.end(),
+                     [](const Clause& a, const Clause& b) {
+                       return a.size() < b.size();
+                     });
+    std::vector<Clause> kept;
+    kept.reserve(deduped.size());
+    for (Clause& c : deduped) {
+      bool is_subsumed = false;
+      for (const Clause& k : kept) {
+        if (k.size() > c.size()) break;  // kept is size-sorted
+        if (subsumes(k, c)) {
+          is_subsumed = true;
+          break;
+        }
+      }
+      if (is_subsumed) {
+        ++result.removed_clauses;
+      } else {
+        kept.push_back(std::move(c));
+      }
+    }
+    clauses = std::move(kept);
+  }
+
+  result.consistent = !contradiction;
+  result.formula = CnfFormula(n);
+  if (contradiction) {
+    result.formula.add_clause({});
+  } else {
+    for (Clause& c : clauses) result.formula.add_clause(std::move(c));
+  }
+  return result;
+}
+
+}  // namespace ns::solver

@@ -1,0 +1,42 @@
+#pragma once
+/// \file stats.hpp
+/// Solver statistics. Propagation count doubles as the deterministic
+/// "runtime" proxy used throughout the evaluation (the paper uses the same
+/// proxy to label training data, Sec. 5.1).
+
+#include <cstdint>
+#include <string>
+
+namespace ns::solver {
+
+/// Counters accumulated over one solve() call.
+struct Statistics {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;   ///< variable assignments made by BCP
+  std::uint64_t ticks = 0;          ///< watch-list visits (finer time proxy)
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t reductions = 0;     ///< clause-DB reduce passes
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t learned_literals = 0;
+  std::uint64_t deleted_clauses = 0;
+  std::uint64_t minimized_literals = 0;  ///< removed by clause minimization
+  std::uint64_t max_trail = 0;
+
+  /// Deterministic pseudo-seconds: proportional to ticks. The constant is
+  /// calibrated so typical suite instances land in a 0..5000 "second" range
+  /// mirroring the paper's 5000 s timeout scale.
+  double proxy_seconds() const {
+    return static_cast<double>(ticks) / 1.0e5;
+  }
+
+  std::string summary() const {
+    return "conflicts=" + std::to_string(conflicts) +
+           " decisions=" + std::to_string(decisions) +
+           " propagations=" + std::to_string(propagations) +
+           " restarts=" + std::to_string(restarts) +
+           " reductions=" + std::to_string(reductions);
+  }
+};
+
+}  // namespace ns::solver

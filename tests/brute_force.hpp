@@ -1,0 +1,24 @@
+#pragma once
+/// Test-only reference oracle: exhaustive SAT check for small formulas.
+
+#include <cstdint>
+#include <optional>
+
+#include "cnf/formula.hpp"
+
+namespace ns::testing {
+
+/// Returns a satisfying model if one exists (num_vars must be <= 24).
+inline std::optional<Model> brute_force_solve(const CnfFormula& f) {
+  const std::size_t n = f.num_vars();
+  if (f.has_empty_clause()) return std::nullopt;
+  const std::uint64_t limit = 1ull << n;
+  for (std::uint64_t bits = 0; bits < limit; ++bits) {
+    Model m(n);
+    for (std::size_t v = 0; v < n; ++v) m[v] = (bits >> v) & 1;
+    if (f.satisfied_by(m)) return m;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ns::testing

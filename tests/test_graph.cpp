@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace ns::graph {
+namespace {
+
+CnfFormula example() {
+  // (x0 ∨ ¬x1) ∧ (x1 ∨ x2 ∨ ¬x0) ∧ (¬x2)
+  CnfFormula f(3);
+  f.add_clause({Lit(0, false), Lit(1, true)});
+  f.add_clause({Lit(1, false), Lit(2, false), Lit(0, true)});
+  f.add_clause({Lit(2, true)});
+  return f;
+}
+
+TEST(VcGraphTest, CountsMatchFormula) {
+  const VcGraph g = build_vc_graph(example());
+  EXPECT_EQ(g.num_vars, 3u);
+  EXPECT_EQ(g.num_clauses, 3u);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.num_nodes(), 6u);
+}
+
+TEST(VcGraphTest, EdgeWeightsEncodePolarity) {
+  const CnfFormula f = example();
+  const VcGraph g = build_vc_graph(f);
+  for (const VcEdge& e : g.edges) {
+    // Look up the literal in the source clause and compare signs.
+    bool found = false;
+    for (const Lit l : f.clause(e.clause)) {
+      if (l.var() == e.var) {
+        EXPECT_EQ(e.weight, l.negated() ? -1.0f : 1.0f);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(VcGraphTest, EdgeCountEqualsLiteralCount) {
+  const CnfFormula f = gen::random_ksat(30, 120, 3, 5);
+  const VcGraph g = build_vc_graph(f);
+  EXPECT_EQ(g.num_edges(), f.num_literals());
+}
+
+TEST(LcGraphTest, LiteralNodesUseLitCodes) {
+  const CnfFormula f = example();
+  const LcGraph g = build_lc_graph(f);
+  EXPECT_EQ(g.num_lits, 6u);
+  EXPECT_EQ(g.num_clauses, 3u);
+  EXPECT_EQ(g.edges.size(), f.num_literals());
+  // Clause 2 contains only ~x2, whose code is 5.
+  bool found = false;
+  for (const auto& e : g.edges) {
+    if (e.clause == 2) {
+      EXPECT_EQ(e.lit, Lit(2, true).code());
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(NodeCapTest, BoundaryIsInclusive) {
+  const CnfFormula f = example();  // 6 nodes
+  EXPECT_TRUE(within_node_cap(f, 6));
+  EXPECT_FALSE(within_node_cap(f, 5));
+  EXPECT_TRUE(within_node_cap(f, 400'000));
+}
+
+}  // namespace
+}  // namespace ns::graph

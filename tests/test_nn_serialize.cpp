@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "gen/generators.hpp"
+#include "nn/models.hpp"
+#include "nn/serialize.hpp"
+
+namespace ns::nn {
+namespace {
+
+TEST(SerializeTest, RoundTripPreservesPredictions) {
+  const GraphBatch g = GraphBatch::build(gen::random_ksat(12, 48, 3, 3));
+
+  NeuroSelectConfig cfg;
+  cfg.hidden_dim = 8;
+  cfg.num_hgt_layers = 1;
+  cfg.seed = 11;
+  NeuroSelectModel trained(cfg);
+  // Nudge the weights away from initialization so the round trip is
+  // non-trivial.
+  for (Parameter* p : trained.parameters()) {
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      p->value.data()[i] += 0.01f * static_cast<float>(i % 7);
+    }
+  }
+  const float expected = trained.predict_probability(g);
+
+  const std::string blob = parameters_to_string(trained);
+  cfg.seed = 99;  // different random init; weights must be fully restored
+  NeuroSelectModel restored(cfg);
+  ASSERT_NE(restored.predict_probability(g), expected);
+  ASSERT_TRUE(parameters_from_string(restored, blob));
+  EXPECT_FLOAT_EQ(restored.predict_probability(g), expected);
+}
+
+TEST(SerializeTest, RejectsArchitectureMismatch) {
+  NeuroSelectConfig small;
+  small.hidden_dim = 8;
+  NeuroSelectConfig big;
+  big.hidden_dim = 16;
+  NeuroSelectModel a(small);
+  NeuroSelectModel b(big);
+  const std::string blob = parameters_to_string(a);
+  EXPECT_FALSE(parameters_from_string(b, blob));
+}
+
+TEST(SerializeTest, RejectsGarbage) {
+  NeuroSelectConfig cfg;
+  cfg.hidden_dim = 8;
+  NeuroSelectModel m(cfg);
+  EXPECT_FALSE(parameters_from_string(m, ""));
+  EXPECT_FALSE(parameters_from_string(m, "not a weights file"));
+  EXPECT_FALSE(parameters_from_string(m, "nsweights 2\n0\n"));
+  std::string truncated = parameters_to_string(m);
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(parameters_from_string(m, truncated));
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  GinModel model(8, 2, 5);
+  const std::string path = ::testing::TempDir() + "/gin_weights.txt";
+  ASSERT_TRUE(save_parameters(model, path));
+  GinModel other(8, 2, 6);
+  EXPECT_TRUE(load_parameters(other, path));
+  const GraphBatch g = GraphBatch::build(gen::pigeonhole(4, 3));
+  EXPECT_FLOAT_EQ(model.predict_probability(g),
+                  other.predict_probability(g));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileFails) {
+  GinModel model(8, 2, 5);
+  EXPECT_FALSE(load_parameters(model, "/nonexistent/weights.txt"));
+}
+
+}  // namespace
+}  // namespace ns::nn

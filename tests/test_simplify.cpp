@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "brute_force.hpp"
+#include "gen/generators.hpp"
+#include "solver/simplify.hpp"
+#include "solver/solver.hpp"
+
+namespace ns::solver {
+namespace {
+
+TEST(SimplifyTest, UnitPropagationFixesChain) {
+  // x0 ; x0 -> x1 ; x1 -> x2 : everything is fixed, no clauses remain.
+  CnfFormula f(3);
+  f.add_clause({Lit(0, false)});
+  f.add_clause({Lit(0, true), Lit(1, false)});
+  f.add_clause({Lit(1, true), Lit(2, false)});
+  const SimplifyResult r = simplify(f);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_EQ(r.formula.num_clauses(), 0u);
+  EXPECT_EQ(r.fixed[0], LBool::kTrue);
+  EXPECT_EQ(r.fixed[1], LBool::kTrue);
+  EXPECT_EQ(r.fixed[2], LBool::kTrue);
+  EXPECT_GE(r.fixed_units, 1u);
+}
+
+TEST(SimplifyTest, DetectsRootContradiction) {
+  CnfFormula f(1);
+  f.add_clause({Lit(0, false)});
+  f.add_clause({Lit(0, true)});
+  const SimplifyResult r = simplify(f);
+  EXPECT_FALSE(r.consistent);
+  EXPECT_TRUE(r.formula.has_empty_clause());
+}
+
+TEST(SimplifyTest, PureLiteralsEliminated) {
+  // x0 appears only positively; x1 both ways.
+  CnfFormula f(2);
+  f.add_clause({Lit(0, false), Lit(1, false)});
+  f.add_clause({Lit(0, false), Lit(1, true)});
+  const SimplifyResult r = simplify(f);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_EQ(r.fixed[0], LBool::kTrue);   // pure positive
+  EXPECT_EQ(r.formula.num_clauses(), 0u);  // both clauses satisfied by x0
+  EXPECT_GE(r.fixed_pures, 1u);
+}
+
+TEST(SimplifyTest, DuplicatesAndSubsumedClausesRemoved) {
+  CnfFormula f(4);
+  // Keep variables impure so pure-literal elimination stays out of the way.
+  f.add_clause({Lit(0, false), Lit(1, false)});
+  f.add_clause({Lit(1, false), Lit(0, false)});            // duplicate
+  f.add_clause({Lit(0, false), Lit(1, false), Lit(2, false)});  // subsumed
+  f.add_clause({Lit(0, true), Lit(1, true), Lit(2, true), Lit(3, false)});
+  f.add_clause({Lit(2, true), Lit(3, true)});
+  const SimplifyResult r = simplify(f);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_EQ(r.formula.num_clauses(), 3u);
+  EXPECT_GE(r.removed_clauses, 2u);
+}
+
+TEST(SimplifyTest, CompleteModelOverlaysFixedValues) {
+  CnfFormula f(3);
+  f.add_clause({Lit(0, false)});                  // unit: x0 = T
+  f.add_clause({Lit(1, false), Lit(2, false)});   // stays (after pures...)
+  f.add_clause({Lit(1, true), Lit(2, false)});
+  const SimplifyResult r = simplify(f);
+  ASSERT_TRUE(r.consistent);
+  Model m(3, false);
+  m = r.complete_model(m);
+  EXPECT_TRUE(m[0]);
+}
+
+// Property: simplification preserves satisfiability, and models of the
+// simplified formula complete to models of the original.
+TEST(SimplifyTest, EquisatisfiableOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    for (const double ratio : {2.0, 4.3, 6.0}) {
+      const std::size_t n = 9 + seed % 4;
+      const CnfFormula f =
+          gen::random_ksat(n, static_cast<std::size_t>(ratio * n), 3, seed);
+      const auto oracle = testing::brute_force_solve(f);
+      const SimplifyResult r = simplify(f);
+      if (!r.consistent) {
+        EXPECT_FALSE(oracle.has_value()) << "seed " << seed;
+        continue;
+      }
+      const SolveOutcome out = solve_formula(r.formula);
+      EXPECT_EQ(out.result == SatResult::kSat, oracle.has_value())
+          << "seed " << seed << " ratio " << ratio;
+      if (out.result == SatResult::kSat) {
+        const Model full = r.complete_model(out.model);
+        EXPECT_TRUE(f.satisfied_by(full)) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(SimplifyTest, PreprocessingShrinksStructuredInstances) {
+  const CnfFormula f = gen::adder_equivalence(6, /*inject_bug=*/false, 1);
+  const SimplifyResult r = simplify(f);
+  ASSERT_TRUE(r.consistent);
+  // Tseitin constants and their cones are root-implied: real shrinkage.
+  EXPECT_LT(r.formula.num_clauses(), f.num_clauses());
+  EXPECT_GT(r.fixed_units + r.fixed_pures, 0u);
+  // And the simplified miter is still UNSAT.
+  EXPECT_EQ(solve_formula(r.formula).result, SatResult::kUnsat);
+}
+
+// In-solver preprocessing: must agree with the plain configuration on an
+// oracle sweep and on structured families.
+TEST(SimplifyTest, SolverPreprocessOptionPreservesVerdicts) {
+  SolverOptions pre;
+  pre.preprocess = true;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const std::size_t n = 10 + seed % 4;
+    const CnfFormula f =
+        gen::random_ksat(n, static_cast<std::size_t>(4.3 * n), 3, seed);
+    const auto oracle = testing::brute_force_solve(f);
+    const SolveOutcome out = solve_formula(f, pre);
+    ASSERT_NE(out.result, SatResult::kUnknown);
+    EXPECT_EQ(out.result == SatResult::kSat, oracle.has_value()) << seed;
+    if (out.result == SatResult::kSat) EXPECT_TRUE(f.satisfied_by(out.model));
+  }
+  EXPECT_EQ(solve_formula(gen::pigeonhole(6, 5), pre).result,
+            SatResult::kUnsat);
+  EXPECT_EQ(solve_formula(gen::adder_equivalence(4, true, 1), pre).result,
+            SatResult::kSat);
+}
+
+TEST(SimplifyTest, PreprocessReducesWorkOnTseitinInstances) {
+  const CnfFormula f = gen::adder_equivalence(10, /*inject_bug=*/false, 1);
+  SolverOptions plain;
+  SolverOptions pre;
+  pre.preprocess = true;
+  const auto a = solve_formula(f, plain);
+  const auto b = solve_formula(f, pre);
+  EXPECT_EQ(a.result, b.result);
+  // Preprocessing strips the constant cones, so the search sees fewer
+  // clauses; the runs must at least differ.
+  EXPECT_NE(a.stats.propagations, b.stats.propagations);
+}
+
+// DRAT text parser round trip.
+TEST(DratParseTest, RoundTripsWriterOutput) {
+  std::vector<ProofStep> steps;
+  ASSERT_TRUE(parse_drat_text("1 -2 0\nd 3 0\nc comment\n-4 0\n0\n", steps));
+  ASSERT_EQ(steps.size(), 4u);
+  EXPECT_FALSE(steps[0].is_delete);
+  EXPECT_EQ(steps[0].lits.size(), 2u);
+  EXPECT_TRUE(steps[1].is_delete);
+  EXPECT_EQ(steps[1].lits[0], Lit::from_dimacs(3));
+  EXPECT_EQ(steps[2].lits[0], Lit::from_dimacs(-4));
+  EXPECT_TRUE(steps[3].lits.empty());  // the empty clause
+}
+
+TEST(DratParseTest, RejectsMalformedInput) {
+  std::vector<ProofStep> steps;
+  EXPECT_FALSE(parse_drat_text("1 2\n", steps));    // missing 0
+  EXPECT_FALSE(parse_drat_text("1 x 0\n", steps));  // junk token
+}
+
+}  // namespace
+}  // namespace ns::solver

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "solver/clause_db.hpp"
+#include "solver/heap.hpp"
+
+namespace ns::solver {
+namespace {
+
+std::vector<Lit> lits(std::initializer_list<int> dimacs) {
+  std::vector<Lit> out;
+  for (int d : dimacs) out.push_back(Lit::from_dimacs(d));
+  return out;
+}
+
+// --- ClauseDb / arena ---------------------------------------------------------
+
+TEST(ClauseDbTest, AddAndReadBack) {
+  ClauseDb db;
+  const ClauseRef r = db.add(lits({1, -2, 3}), /*learned=*/true, /*glue=*/2);
+  ClauseView c = db.view(r);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_TRUE(c.learned());
+  EXPECT_FALSE(c.garbage());
+  EXPECT_EQ(c.glue(), 2u);
+  EXPECT_EQ(c.lit(0), Lit::from_dimacs(1));
+  EXPECT_EQ(c.lit(1), Lit::from_dimacs(-2));
+  EXPECT_EQ(c.lit(2), Lit::from_dimacs(3));
+}
+
+TEST(ClauseDbTest, FlagsAreIndependent) {
+  ClauseDb db;
+  ClauseView c = db.view(db.add(lits({1, 2}), true, 7));
+  c.set_used(true);
+  EXPECT_TRUE(c.used());
+  EXPECT_FALSE(c.garbage());
+  EXPECT_EQ(c.glue(), 7u);  // glue untouched by flag writes
+  c.set_glue(3);
+  EXPECT_TRUE(c.used());  // flags untouched by glue writes
+  c.set_used(false);
+  EXPECT_FALSE(c.used());
+}
+
+TEST(ClauseDbTest, ActivityRoundTripsThroughBitCast) {
+  ClauseDb db;
+  ClauseView c = db.view(db.add(lits({1, 2}), true, 1));
+  c.set_activity(3.25f);
+  EXPECT_FLOAT_EQ(c.activity(), 3.25f);
+}
+
+TEST(ClauseDbTest, CountsTrackLearnedAndGarbage) {
+  ClauseDb db;
+  const ClauseRef a = db.add(lits({1, 2}), false, 0);
+  const ClauseRef b = db.add(lits({2, 3}), true, 4);
+  (void)a;
+  EXPECT_EQ(db.num_clauses(), 2u);
+  EXPECT_EQ(db.num_learned(), 1u);
+  db.mark_garbage(b);
+  db.mark_garbage(b);  // idempotent
+  EXPECT_EQ(db.num_clauses(), 1u);
+  EXPECT_EQ(db.num_learned(), 0u);
+  EXPECT_GT(db.garbage_words(), 0u);
+}
+
+TEST(ClauseDbTest, CollectGarbageCompactsAndForwards) {
+  ClauseDb db;
+  const ClauseRef a = db.add(lits({1, 2}), false, 0);
+  const ClauseRef b = db.add(lits({2, 3, 4}), true, 3);
+  const ClauseRef c = db.add(lits({-1, -4}), true, 2);
+  db.mark_garbage(b);
+  const std::size_t words_before = db.arena_words();
+  db.collect_garbage();
+  EXPECT_LT(db.arena_words(), words_before);
+  EXPECT_EQ(db.garbage_words(), 0u);
+
+  const ClauseRef a2 = db.forward(a);
+  const ClauseRef b2 = db.forward(b);
+  const ClauseRef c2 = db.forward(c);
+  EXPECT_NE(a2, kInvalidClause);
+  EXPECT_EQ(b2, kInvalidClause);
+  EXPECT_NE(c2, kInvalidClause);
+  EXPECT_EQ(db.view(a2).lit(0), Lit::from_dimacs(1));
+  EXPECT_EQ(db.view(c2).lit(1), Lit::from_dimacs(-4));
+  EXPECT_EQ(db.view(c2).glue(), 2u);
+}
+
+TEST(ClauseDbTest, ForEachSkipsGarbage) {
+  ClauseDb db;
+  db.add(lits({1, 2}), false, 0);
+  const ClauseRef b = db.add(lits({3, 4}), false, 0);
+  db.add(lits({5, 6}), false, 0);
+  db.mark_garbage(b);
+  std::size_t live = 0;
+  db.for_each([&](ClauseRef, ClauseView) { ++live; });
+  EXPECT_EQ(live, 2u);
+}
+
+TEST(ClauseDbTest, ShrinkReducesSize) {
+  ClauseDb db;
+  ClauseView c = db.view(db.add(lits({1, 2, 3, 4}), true, 2));
+  c.shrink(2);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+// --- VarHeap -----------------------------------------------------------------
+
+TEST(VarHeapTest, PopsInActivityOrder) {
+  std::vector<double> activity = {1.0, 5.0, 3.0, 4.0, 2.0};
+  VarHeap heap(activity);
+  for (Var v = 0; v < 5; ++v) heap.insert(v);
+  std::vector<Var> order;
+  while (!heap.empty()) order.push_back(heap.pop());
+  EXPECT_EQ(order, (std::vector<Var>{1, 3, 2, 4, 0}));
+}
+
+TEST(VarHeapTest, InsertIsIdempotent) {
+  std::vector<double> activity = {1.0, 2.0};
+  VarHeap heap(activity);
+  heap.insert(0);
+  heap.insert(0);
+  heap.insert(1);
+  EXPECT_EQ(heap.size(), 2u);
+}
+
+TEST(VarHeapTest, IncreasedRestoresOrder) {
+  std::vector<double> activity = {1.0, 2.0, 3.0};
+  VarHeap heap(activity);
+  for (Var v = 0; v < 3; ++v) heap.insert(v);
+  activity[0] = 10.0;
+  heap.increased(0);
+  EXPECT_EQ(heap.pop(), 0u);
+  EXPECT_EQ(heap.pop(), 2u);
+  EXPECT_EQ(heap.pop(), 1u);
+}
+
+TEST(VarHeapTest, ContainsTracksMembership) {
+  std::vector<double> activity = {1.0, 2.0};
+  VarHeap heap(activity);
+  EXPECT_FALSE(heap.contains(0));
+  heap.insert(0);
+  EXPECT_TRUE(heap.contains(0));
+  heap.pop();
+  EXPECT_FALSE(heap.contains(0));
+}
+
+TEST(VarHeapTest, RandomizedAgainstSort) {
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<double> activity(50);
+    std::uniform_real_distribution<double> dist(0.0, 100.0);
+    for (double& a : activity) a = dist(rng);
+    VarHeap heap(activity);
+    for (Var v = 0; v < 50; ++v) heap.insert(v);
+
+    std::vector<Var> expected(50);
+    for (Var v = 0; v < 50; ++v) expected[v] = v;
+    std::stable_sort(expected.begin(), expected.end(), [&](Var a, Var b) {
+      return activity[a] > activity[b];
+    });
+    for (Var v : expected) {
+      const Var got = heap.pop();
+      EXPECT_DOUBLE_EQ(activity[got], activity[v]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ns::solver

@@ -1,0 +1,52 @@
+/// \file drat_check.cpp
+/// Standalone DRAT proof checker: validates an UNSAT certificate produced
+/// by `neuroselect_solve --proof` (or any drat-trim-syntax proof) against
+/// the original DIMACS formula using reverse unit propagation.
+///
+/// Usage: drat_check <input.cnf> <proof.drat>
+/// Exit codes: 0 proof valid, 1 usage/parse error, 2 proof invalid.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cnf/dimacs.hpp"
+#include "solver/proof.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <input.cnf> <proof.drat>\n", argv[0]);
+    return 1;
+  }
+  const ns::ParseResult parsed = ns::parse_dimacs_file(argv[1]);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "parse error (%s:%zu): %s\n", argv[1], parsed.line,
+                 parsed.error.c_str());
+    return 1;
+  }
+
+  std::ifstream proof_file(argv[2]);
+  if (!proof_file) {
+    std::fprintf(stderr, "cannot open proof: %s\n", argv[2]);
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << proof_file.rdbuf();
+  std::vector<ns::solver::ProofStep> steps;
+  if (!ns::solver::parse_drat_text(ss.str(), steps)) {
+    std::fprintf(stderr, "malformed DRAT text\n");
+    return 1;
+  }
+  std::printf("c formula %s, proof has %zu steps\n",
+              parsed.formula.summary().c_str(), steps.size());
+
+  const ns::solver::ProofCheckResult result =
+      ns::solver::verify_unsat_proof(parsed.formula, steps);
+  if (result.ok) {
+    std::printf("s VERIFIED\n");
+    return 0;
+  }
+  std::printf("s NOT VERIFIED (step %zu: %s)\n", result.failed_step,
+              result.error.c_str());
+  return 2;
+}

@@ -1,0 +1,135 @@
+/// \file neuroselect_solve.cpp
+/// Command-line SAT solver front end.
+///
+/// Usage:
+///   neuroselect_solve [options] <input.cnf>
+///     --policy default|frequency   clause-deletion policy (default: default)
+///     --alpha <f>                  Eq. 2 threshold for the frequency policy
+///     --proof <file>               write a DRAT proof (UNSAT certificates)
+///     --max-conflicts <n>          conflict budget (0 = unlimited)
+///     --max-propagations <n>       propagation budget (0 = unlimited)
+///     --preprocess                 root-level simplification before search
+///     --vmtf                       use VMTF decisions instead of EVSIDS
+///     --luby                       use Luby restarts instead of Glucose EMA
+///     --quiet                      suppress the model ("v ...") lines
+///
+/// Output follows SAT-competition conventions: a "s SATISFIABLE" /
+/// "s UNSATISFIABLE" / "s UNKNOWN" status line, "v" model lines on SAT,
+/// and "c" comment lines with statistics. Exit code: 10 SAT, 20 UNSAT,
+/// 0 unknown, 1 usage/parse error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "cnf/dimacs.hpp"
+#include "solver/proof.hpp"
+#include "solver/solver.hpp"
+
+namespace {
+
+void usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--policy default|frequency] [--alpha f] [--preprocess] "
+               "[--proof file] [--max-conflicts n] [--max-propagations n] "
+               "[--vmtf] [--luby] [--quiet] <input.cnf>\n",
+               prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ns::solver::SolverOptions options;
+  std::string input_path;
+  std::string proof_path;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--policy") {
+      options.deletion_policy = ns::policy::policy_kind_from_name(next());
+    } else if (arg == "--alpha") {
+      options.frequency_alpha = std::atof(next());
+    } else if (arg == "--proof") {
+      proof_path = next();
+    } else if (arg == "--max-conflicts") {
+      options.max_conflicts = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--max-propagations") {
+      options.max_propagations = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--preprocess") {
+      options.preprocess = true;
+    } else if (arg == "--vmtf") {
+      options.decision_mode = ns::solver::DecisionMode::kVmtf;
+    } else if (arg == "--luby") {
+      options.restart_mode = ns::solver::RestartMode::kLuby;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(argv[0]);
+      return 1;
+    } else {
+      input_path = arg;
+    }
+  }
+  if (input_path.empty()) {
+    usage(argv[0]);
+    return 1;
+  }
+
+  const ns::ParseResult parsed = ns::parse_dimacs_file(input_path);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "c parse error (%s:%zu): %s\n", input_path.c_str(),
+                 parsed.line, parsed.error.c_str());
+    return 1;
+  }
+  std::printf("c %s\n", parsed.formula.summary().c_str());
+
+  ns::solver::Solver solver(options);
+  solver.load(parsed.formula);
+
+  std::ofstream proof_stream;
+  ns::solver::DratTextWriter proof_writer(proof_stream);
+  if (!proof_path.empty()) {
+    proof_stream.open(proof_path);
+    if (!proof_stream) {
+      std::fprintf(stderr, "c cannot open proof file %s\n", proof_path.c_str());
+      return 1;
+    }
+    solver.set_proof_tracer(&proof_writer);
+  }
+
+  const ns::solver::SolveOutcome out = solver.solve();
+  std::printf("c %s\n", out.stats.summary().c_str());
+  switch (out.result) {
+    case ns::solver::SatResult::kSat: {
+      std::printf("s SATISFIABLE\n");
+      if (!quiet) {
+        std::printf("v");
+        for (std::size_t v = 0; v < parsed.formula.num_vars(); ++v) {
+          std::printf(" %s%zu", out.model[v] ? "" : "-", v + 1);
+        }
+        std::printf(" 0\n");
+      }
+      return 10;
+    }
+    case ns::solver::SatResult::kUnsat:
+      std::printf("s UNSATISFIABLE\n");
+      return 20;
+    default:
+      std::printf("s UNKNOWN\n");
+      return 0;
+  }
+}
