@@ -9,6 +9,7 @@
 /// pipeline (labelling rule, loss, optimizer, batch size 1) is unchanged.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/labeling.hpp"
@@ -16,6 +17,47 @@
 #include "gen/dataset.hpp"
 
 namespace ns::bench {
+
+/// Accumulates (name, threads, wall ms) measurements and writes them as a
+/// JSON array to `BENCH_<bench>.json`, so successive PRs can track the perf
+/// trajectory from checked-in bench output.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  void record(const std::string& name, std::size_t threads, double wall_ms) {
+    entries_.push_back(Entry{name, threads, wall_ms});
+  }
+
+  /// Writes `dir`/BENCH_<bench>.json; returns false if the file cannot be
+  /// opened. Safe to call repeatedly (rewrites the whole file).
+  bool write(const std::string& dir = ".") const {
+    const std::string path = dir + "/BENCH_" + bench_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f,
+                   "  {\"bench\": \"%s\", \"name\": \"%s\", "
+                   "\"threads\": %zu, \"wall_ms\": %.3f}%s\n",
+                   bench_.c_str(), e.name.c_str(), e.threads, e.wall_ms,
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::size_t threads = 0;
+    double wall_ms = 0.0;
+  };
+  std::string bench_;
+  std::vector<Entry> entries_;
+};
 
 struct LabeledDataset {
   std::vector<core::LabeledInstance> train;

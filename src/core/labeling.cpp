@@ -1,5 +1,7 @@
 #include "core/labeling.hpp"
 
+#include "runtime/thread_pool.hpp"
+
 namespace ns::core {
 
 LabeledInstance label_instance(gen::NamedInstance inst,
@@ -9,13 +11,21 @@ LabeledInstance label_instance(gen::NamedInstance inst,
   solver::SolverOptions solver_options = options.base_solver;
   solver_options.max_propagations = options.max_propagations;
 
-  solver_options.deletion_policy = policy::PolicyKind::kDefault;
-  const solver::SolveOutcome def =
-      solver::solve_formula(inst.formula, solver_options);
-
-  solver_options.deletion_policy = policy::PolicyKind::kFrequency;
-  const solver::SolveOutcome freq =
-      solver::solve_formula(inst.formula, solver_options);
+  // The two policy runs are independent solves of the same formula; fan
+  // them across the pool. When label_dataset already parallelizes over
+  // instances this runs inline (nested regions serialize).
+  const policy::PolicyKind kinds[2] = {policy::PolicyKind::kDefault,
+                                       policy::PolicyKind::kFrequency};
+  solver::SolveOutcome outcomes[2];
+  runtime::parallel_for(2, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      solver::SolverOptions run_options = solver_options;
+      run_options.deletion_policy = kinds[i];
+      outcomes[i] = solver::solve_formula(inst.formula, run_options);
+    }
+  });
+  const solver::SolveOutcome& def = outcomes[0];
+  const solver::SolveOutcome& freq = outcomes[1];
 
   out.propagations_default = def.stats.propagations;
   out.propagations_frequency = freq.stats.propagations;
@@ -35,11 +45,15 @@ LabeledInstance label_instance(gen::NamedInstance inst,
 
 std::vector<LabeledInstance> label_dataset(
     std::vector<gen::NamedInstance> split, const LabelingOptions& options) {
-  std::vector<LabeledInstance> out;
-  out.reserve(split.size());
-  for (gen::NamedInstance& inst : split) {
-    out.push_back(label_instance(std::move(inst), options));
-  }
+  std::vector<LabeledInstance> out(split.size());
+  // Instances are independent (solve_formula is a pure function), and each
+  // slot is written by exactly one thread, so the labels are identical to
+  // the serial loop for any thread count.
+  runtime::parallel_for(split.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      out[i] = label_instance(std::move(split[i]), options);
+    }
+  });
   return out;
 }
 

@@ -53,6 +53,14 @@ struct EndToEndSummary {
   double average_improvement_percent = 0.0;
 };
 
+/// P(label == 1) for every graph in `batch`, fanned over the runtime pool
+/// (one tape per instance; the model parameters are only read). Bitwise
+/// identical to calling `model.predict_probability` per graph, for any
+/// thread count.
+std::vector<float> classify_batch(
+    nn::SatClassifier& model,
+    const std::vector<const nn::GraphBatch*>& batch);
+
 /// Solves one instance with NeuroSelect guidance. `model` may be null, in
 /// which case the default policy is used (instances beyond the node cap).
 InstanceRun run_instance(nn::SatClassifier* model,

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <random>
 
+#include "core/neuroselect.hpp"
+
 namespace ns::core {
 
 std::vector<EpochStats> train_classifier(
@@ -62,9 +64,17 @@ std::vector<EpochStats> train_classifier(
 
 ClassificationMetrics evaluate_classifier(
     nn::SatClassifier& model, const std::vector<LabeledInstance>& data) {
+  // Batched inference over the epoch (parallel across instances); the
+  // confusion counts reduce serially in instance order.
+  std::vector<const nn::GraphBatch*> graphs;
+  graphs.reserve(data.size());
+  for (const LabeledInstance& inst : data) graphs.push_back(&inst.graph);
+  const std::vector<float> probs = classify_batch(model, graphs);
+
   ClassificationMetrics m;
-  for (const LabeledInstance& inst : data) {
-    const bool predicted = model.predict_probability(inst.graph) > 0.5f;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const LabeledInstance& inst = data[i];
+    const bool predicted = probs[i] > 0.5f;
     const bool actual = inst.label == 1;
     if (predicted && actual) ++m.tp;
     if (predicted && !actual) ++m.fp;

@@ -3,6 +3,7 @@
 #include <random>
 
 #include "gen/generators.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace ns::gen {
 namespace {
@@ -13,82 +14,134 @@ std::string instance_name(int year, const std::string& family, std::size_t i) {
   return std::to_string(year) + "/" + family + "_" + buf;
 }
 
+/// Everything needed to build one instance, drawn serially from the split's
+/// meta RNG so the formula construction itself can run on any thread.
+struct InstancePlan {
+  std::size_t index = 0;
+  int kind = 0;           ///< index % 6, the family selector
+  std::size_t size = 0;   ///< n / width / holes / bits, per family
+  std::uint64_t seed = 0;
+};
+
+NamedInstance build_instance(int year, const InstancePlan& plan) {
+  const std::size_t i = plan.index;
+  const std::uint64_t s = plan.seed;
+  NamedInstance inst;
+  // The mix targets the regime where clause-DB reductions fire several
+  // times per solve (≳500 conflicts), because that is where the two
+  // deletion policies genuinely diverge — and it spans families whose
+  // preferred policy differs, making the selection task non-trivial.
+  switch (plan.kind) {
+    case 0: {
+      // Random 3-SAT near the 4.26 phase transition (mixed labels).
+      const std::size_t n = plan.size;
+      inst.family = "random3sat";
+      inst.formula = random_ksat(n, static_cast<std::size_t>(4.26 * n), 3, s);
+      break;
+    }
+    case 1: {
+      // Modular "industrial-like" instances (mixed labels).
+      const std::size_t n = plan.size;
+      inst.family = "community";
+      inst.formula = community_sat(n, static_cast<std::size_t>(4.25 * n),
+                                   /*num_communities=*/10,
+                                   /*modularity=*/0.8, s);
+      break;
+    }
+    case 2: {
+      // Larger random 3-SAT: many reductions, default policy tends to win.
+      const std::size_t n = plan.size;
+      inst.family = "random3sat_xl";
+      inst.formula = random_ksat(n, static_cast<std::size_t>(4.26 * n), 3, s);
+      break;
+    }
+    case 3: {
+      // XOR miters: resolution-hard circuit equivalence (near-tie labels).
+      inst.family = "parity";
+      inst.formula =
+          parity_equivalence(plan.size, /*inject_bug=*/(i % 2) == 1, s);
+      break;
+    }
+    case 4: {
+      // Pigeonhole: deep conflict analysis, frequency policy tends to win.
+      const std::size_t h = plan.size;
+      inst.family = "pigeonhole";
+      inst.formula = scramble(pigeonhole(h + 1, h), s);
+      break;
+    }
+    default: {
+      // Adder equivalence miters (EDA verification workload).
+      inst.family = "miter";
+      inst.formula = scramble(
+          adder_equivalence(plan.size, /*inject_bug=*/(i % 2) == 1, s),
+          s ^ 0x9e3779b97f4a7c15ull);
+      break;
+    }
+  }
+  inst.name = instance_name(year, inst.family, i);
+  return inst;
+}
+
 }  // namespace
 
 std::vector<NamedInstance> generate_split(int year, std::size_t count,
                                           std::uint64_t seed_base) {
-  std::vector<NamedInstance> out;
-  out.reserve(count);
   // Distinct stream per year; the per-instance seed mixes in the index.
   const std::uint64_t year_seed =
       seed_base * 1000003ull + static_cast<std::uint64_t>(year) * 2654435761ull;
   std::mt19937_64 meta_rng(year_seed);
   std::uniform_int_distribution<std::uint64_t> any_seed;
 
+  // Phase 1 (serial): consume the meta RNG in the exact per-instance order
+  // (seed, then one size draw) so the generated instances are identical to
+  // the original single-threaded builder.
+  std::vector<InstancePlan> plans(count);
   for (std::size_t i = 0; i < count; ++i) {
-    const std::uint64_t s = any_seed(meta_rng);
-    NamedInstance inst;
-    // The mix targets the regime where clause-DB reductions fire several
-    // times per solve (≳500 conflicts), because that is where the two
-    // deletion policies genuinely diverge — and it spans families whose
-    // preferred policy differs, making the selection task non-trivial.
-    switch (i % 6) {
+    InstancePlan& plan = plans[i];
+    plan.index = i;
+    plan.kind = static_cast<int>(i % 6);
+    plan.seed = any_seed(meta_rng);
+    switch (plan.kind) {
       case 0: {
-        // Random 3-SAT near the 4.26 phase transition (mixed labels).
         std::uniform_int_distribution<std::size_t> nv(100, 150);
-        const std::size_t n = nv(meta_rng);
-        const std::size_t m = static_cast<std::size_t>(4.26 * n);
-        inst.family = "random3sat";
-        inst.formula = random_ksat(n, m, 3, s);
+        plan.size = nv(meta_rng);
         break;
       }
       case 1: {
-        // Modular "industrial-like" instances (mixed labels).
         std::uniform_int_distribution<std::size_t> nv(260, 400);
-        const std::size_t n = nv(meta_rng);
-        inst.family = "community";
-        inst.formula = community_sat(n, static_cast<std::size_t>(4.25 * n),
-                                     /*num_communities=*/10,
-                                     /*modularity=*/0.8, s);
+        plan.size = nv(meta_rng);
         break;
       }
       case 2: {
-        // Larger random 3-SAT: many reductions, default policy tends to win.
         std::uniform_int_distribution<std::size_t> nv(180, 220);
-        const std::size_t n = nv(meta_rng);
-        inst.family = "random3sat_xl";
-        inst.formula = random_ksat(n, static_cast<std::size_t>(4.26 * n), 3, s);
+        plan.size = nv(meta_rng);
         break;
       }
       case 3: {
-        // XOR miters: resolution-hard circuit equivalence (near-tie labels).
         std::uniform_int_distribution<std::size_t> width(40, 64);
-        inst.family = "parity";
-        inst.formula =
-            parity_equivalence(width(meta_rng), /*inject_bug=*/(i % 2) == 1, s);
+        plan.size = width(meta_rng);
         break;
       }
       case 4: {
-        // Pigeonhole: deep conflict analysis, frequency policy tends to win.
         std::uniform_int_distribution<std::size_t> holes(7, 8);
-        const std::size_t h = holes(meta_rng);
-        inst.family = "pigeonhole";
-        inst.formula = scramble(pigeonhole(h + 1, h), s);
+        plan.size = holes(meta_rng);
         break;
       }
       default: {
-        // Adder equivalence miters (EDA verification workload).
         std::uniform_int_distribution<std::size_t> bits(16, 26);
-        inst.family = "miter";
-        inst.formula = scramble(
-            adder_equivalence(bits(meta_rng), /*inject_bug=*/(i % 2) == 1, s),
-            s ^ 0x9e3779b97f4a7c15ull);
+        plan.size = bits(meta_rng);
         break;
       }
     }
-    inst.name = instance_name(year, inst.family, i);
-    out.push_back(std::move(inst));
   }
+
+  // Phase 2 (parallel): each instance is built from its own plan and seed.
+  std::vector<NamedInstance> out(count);
+  runtime::parallel_for(count, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      out[i] = build_instance(year, plans[i]);
+    }
+  });
   return out;
 }
 

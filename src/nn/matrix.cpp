@@ -3,7 +3,27 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/thread_pool.hpp"
+
 namespace ns::nn {
+namespace {
+
+/// Below this many multiply-adds the pool dispatch costs more than the
+/// loop; run inline. Thresholding never changes results — each output row
+/// is computed by exactly one thread with the serial accumulation order.
+constexpr std::size_t kMinParallelOps = std::size_t{1} << 15;
+
+/// Parallelizes over output rows when the kernel is big enough.
+void for_each_output_row(std::size_t rows, std::size_t total_ops,
+                         const runtime::RangeBody& body) {
+  if (total_ops < kMinParallelOps) {
+    body(0, rows);
+    return;
+  }
+  runtime::global_pool().parallel_for(rows, body);
+}
+
+}  // namespace
 
 Matrix Matrix::xavier(std::size_t rows, std::size_t cols,
                       std::mt19937_64& rng) {
@@ -39,46 +59,59 @@ float Matrix::sum() const {
 Matrix matmul(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.rows());
   Matrix c(a.rows(), b.cols());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const float aik = a.at(i, k);
-      if (aik == 0.0f) continue;
-      const float* brow = b.data() + k * b.cols();
-      float* crow = c.data() + i * c.cols();
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
-    }
-  }
+  for_each_output_row(
+      a.rows(), a.rows() * a.cols() * b.cols(),
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          float* crow = c.data() + i * c.cols();
+          for (std::size_t k = 0; k < a.cols(); ++k) {
+            const float aik = a.at(i, k);
+            if (aik == 0.0f) continue;
+            const float* brow = b.data() + k * b.cols();
+            for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+          }
+        }
+      });
   return c;
 }
 
 Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
   assert(a.rows() == b.rows());
   Matrix c(a.cols(), b.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const float* arow = a.data() + k * a.cols();
-    const float* brow = b.data() + k * b.cols();
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* crow = c.data() + i * c.cols();
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
-    }
-  }
+  // Output row i is column i of A: accumulating k in ascending order keeps
+  // the per-element float addition sequence of the serial kernel.
+  for_each_output_row(
+      a.cols(), a.rows() * a.cols() * b.cols(),
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          float* crow = c.data() + i * c.cols();
+          for (std::size_t k = 0; k < a.rows(); ++k) {
+            const float aki = a.data()[k * a.cols() + i];
+            if (aki == 0.0f) continue;
+            const float* brow = b.data() + k * b.cols();
+            for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+          }
+        }
+      });
   return c;
 }
 
 Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.cols());
   Matrix c(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const float* arow = a.data() + i * a.cols();
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const float* brow = b.data() + j * b.cols();
-      double acc = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
-      c.at(i, j) = static_cast<float>(acc);
-    }
-  }
+  for_each_output_row(
+      a.rows(), a.rows() * a.cols() * b.rows(),
+      [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+          const float* arow = a.data() + i * a.cols();
+          for (std::size_t j = 0; j < b.rows(); ++j) {
+            const float* brow = b.data() + j * b.cols();
+            double acc = 0.0;
+            for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+            c.at(i, j) = static_cast<float>(acc);
+          }
+        }
+      });
   return c;
 }
 

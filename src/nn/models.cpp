@@ -26,15 +26,11 @@ VcGraphTensors VcGraphTensors::build(const graph::VcGraph& g) {
 
   t.avc = SparseMatrix::from_coo(g.num_vars, g.num_clauses, vr, cr, w);
   t.acv = SparseMatrix::from_coo(g.num_clauses, g.num_vars, cr, vr, w);
-  t.avc_t = t.avc.transposed();
-  t.acv_t = t.acv.transposed();
 
   t.svc = t.avc;
   t.svc.normalize_rows_by_degree();
-  t.svc_t = t.svc.transposed();
   t.scv = t.acv;
   t.scv.normalize_rows_by_degree();
-  t.scv_t = t.scv.transposed();
   return t;
 }
 
@@ -53,8 +49,6 @@ LcGraphTensors LcGraphTensors::build(const graph::LcGraph& g) {
   }
   t.mlc = SparseMatrix::from_coo(g.num_lits, g.num_clauses, lr, cr, w);
   t.mcl = SparseMatrix::from_coo(g.num_clauses, g.num_lits, cr, lr, w);
-  t.mlc_t = t.mlc.transposed();
-  t.mcl_t = t.mcl.transposed();
 
   t.flip.resize(g.num_lits);
   for (std::uint32_t i = 0; i < g.num_lits; ++i) t.flip[i] = i ^ 1u;
@@ -97,12 +91,12 @@ std::pair<TensorId, TensorId> MpnnLayer::forward(Tape& tape,
   // Messages into variables: mean over incident clauses of MLP(h_c),
   // weighted by the signed edge weight (Eq. 6).
   const TensorId mv =
-      tape.spmm(&g.svc, &g.svc_t, msg_from_clause_.forward(tape, xc));
+      tape.spmm(&g.svc, msg_from_clause_.forward(tape, xc));
   const TensorId hv = tape.relu(
       upd_var_.forward(tape, tape.add(mv, self_var_.forward(tape, xv))));
   // Messages into clauses (computed from the pre-update variable features).
   const TensorId mc =
-      tape.spmm(&g.scv, &g.scv_t, msg_from_var_.forward(tape, xv));
+      tape.spmm(&g.scv, msg_from_var_.forward(tape, xv));
   const TensorId hc = tape.relu(upd_clause_.forward(
       tape, tape.add(mc, self_clause_.forward(tape, xc))));
   return {hv, hc};
@@ -256,8 +250,8 @@ TensorId GinModel::forward_logit(Tape& tape, const GraphBatch& g) {
   for (GinLayer& layer : layers_) {
     // GIN update: h' = MLP(h + Σ_{u∈N(v)} w_uv h_u)  (sum aggregation,
     // epsilon fixed to 0 as in the GIN-0 variant).
-    const TensorId aggv = tape.spmm(&g.vc.avc, &g.vc.avc_t, xc);
-    const TensorId aggc = tape.spmm(&g.vc.acv, &g.vc.acv_t, xv);
+    const TensorId aggv = tape.spmm(&g.vc.avc, xc);
+    const TensorId aggc = tape.spmm(&g.vc.acv, xv);
     const TensorId hv = layer.var_mlp.forward(tape, tape.add(xv, aggv));
     const TensorId hc = layer.clause_mlp.forward(tape, tape.add(xc, aggc));
     xv = tape.relu(hv);
@@ -310,12 +304,12 @@ TensorId NeuroSatModel::forward_logit(Tape& tape, const GraphBatch& g) {
 
   for (std::size_t round = 0; round < rounds_; ++round) {
     // Clauses aggregate messages from their literals.
-    const TensorId to_clause = tape.spmm(
-        &g.lc.mcl, &g.lc.mcl_t, lit_msg_.forward(tape, lit_state.h));
+    const TensorId to_clause =
+        tape.spmm(&g.lc.mcl, lit_msg_.forward(tape, lit_state.h));
     clause_state = clause_update_.forward(tape, to_clause, clause_state);
     // Literals aggregate from clauses and see their own negation's state.
-    const TensorId to_lit = tape.spmm(
-        &g.lc.mlc, &g.lc.mlc_t, clause_msg_.forward(tape, clause_state.h));
+    const TensorId to_lit =
+        tape.spmm(&g.lc.mlc, clause_msg_.forward(tape, clause_state.h));
     const TensorId flipped = tape.permute_rows(lit_state.h, g.lc.flip);
     lit_state = lit_update_.forward(
         tape, tape.concat_cols(to_lit, flipped), lit_state);

@@ -25,14 +25,15 @@
 
 namespace ns::nn {
 
-/// Cached sparse operators for the variable–clause graph.
+/// Cached sparse operators for the variable–clause graph. Transposes (for
+/// the backward pass) are cached inside each SparseMatrix on first use.
 struct VcGraphTensors {
   std::size_t num_vars = 0;
   std::size_t num_clauses = 0;
-  SparseMatrix svc, svc_t;  ///< vars×clauses, mean-normalized (Eq. 6), + Sᵀ
-  SparseMatrix scv, scv_t;  ///< clauses×vars, mean-normalized, + Sᵀ
-  SparseMatrix avc, avc_t;  ///< vars×clauses, raw signed weights (GIN sum)
-  SparseMatrix acv, acv_t;  ///< clauses×vars, raw signed weights
+  SparseMatrix svc;  ///< vars×clauses, mean-normalized (Eq. 6)
+  SparseMatrix scv;  ///< clauses×vars, mean-normalized
+  SparseMatrix avc;  ///< vars×clauses, raw signed weights (GIN sum)
+  SparseMatrix acv;  ///< clauses×vars, raw signed weights
 
   static VcGraphTensors build(const graph::VcGraph& g);
 };
@@ -41,8 +42,8 @@ struct VcGraphTensors {
 struct LcGraphTensors {
   std::size_t num_lits = 0;
   std::size_t num_clauses = 0;
-  SparseMatrix mlc, mlc_t;  ///< lits×clauses incidence, + transpose
-  SparseMatrix mcl, mcl_t;  ///< clauses×lits incidence, + transpose
+  SparseMatrix mlc;  ///< lits×clauses incidence
+  SparseMatrix mcl;  ///< clauses×lits incidence
   std::vector<std::uint32_t> flip;  ///< row permutation pairing l with ~l
 
   static LcGraphTensors build(const graph::LcGraph& g);

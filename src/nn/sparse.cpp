@@ -1,9 +1,22 @@
 #include "nn/sparse.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <numeric>
 
+#include "runtime/thread_pool.hpp"
+
 namespace ns::nn {
+namespace {
+
+/// Below this many multiply-adds SpMM runs inline (see matrix.cpp).
+constexpr std::size_t kMinParallelOps = std::size_t{1} << 15;
+
+/// Guards lazy transpose materialization across all matrices. Coarse, but
+/// only contended the first time a given adjacency is transposed.
+std::mutex g_transpose_mutex;
+
+}  // namespace
 
 SparseMatrix SparseMatrix::from_coo(std::size_t rows, std::size_t cols,
                                     const std::vector<std::uint32_t>& row_idx,
@@ -33,18 +46,37 @@ SparseMatrix SparseMatrix::from_coo(std::size_t rows, std::size_t cols,
 Matrix SparseMatrix::multiply(const Matrix& x) const {
   assert(x.rows() == cols_);
   Matrix y(rows_, x.cols());
-  for (std::size_t r = 0; r < rows_; ++r) {
-    float* yrow = y.data() + r * y.cols();
-    for (std::size_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
-      const float w = val_[e];
-      const float* xrow = x.data() + col_[e] * x.cols();
-      for (std::size_t j = 0; j < x.cols(); ++j) yrow[j] += w * xrow[j];
+  // Each output row is owned by exactly one thread and accumulates its
+  // edges in CSR order, so the result is bitwise independent of the thread
+  // count.
+  const auto rows_body = [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      float* yrow = y.data() + r * y.cols();
+      for (std::size_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+        const float w = val_[e];
+        const float* xrow = x.data() + col_[e] * x.cols();
+        for (std::size_t j = 0; j < x.cols(); ++j) yrow[j] += w * xrow[j];
+      }
     }
+  };
+  if (nnz() * x.cols() < kMinParallelOps) {
+    rows_body(0, rows_);
+  } else {
+    runtime::global_pool().parallel_for(rows_, rows_body);
   }
   return y;
 }
 
-SparseMatrix SparseMatrix::transposed() const {
+const SparseMatrix& SparseMatrix::transposed() const {
+  std::lock_guard<std::mutex> lock(g_transpose_mutex);
+  if (!transpose_cache_) {
+    transpose_cache_ =
+        std::make_shared<const SparseMatrix>(materialize_transposed());
+  }
+  return *transpose_cache_;
+}
+
+SparseMatrix SparseMatrix::materialize_transposed() const {
   std::vector<std::uint32_t> r, c;
   std::vector<float> v;
   r.reserve(nnz());
@@ -62,6 +94,7 @@ SparseMatrix SparseMatrix::transposed() const {
 
 void SparseMatrix::normalize_rows(const std::vector<float>& divisor) {
   assert(divisor.size() == rows_);
+  transpose_cache_.reset();  // values change; the cached Sᵀ is stale
   for (std::size_t r = 0; r < rows_; ++r) {
     const float d = divisor[r];
     if (d == 0.0f) continue;

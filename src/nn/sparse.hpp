@@ -7,6 +7,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "nn/matrix.hpp"
@@ -28,11 +29,16 @@ class SparseMatrix {
   std::size_t cols() const { return cols_; }
   std::size_t nnz() const { return col_.size(); }
 
-  /// Y = S * X  (dense result, rows() x X.cols()).
+  /// Y = S * X  (dense result, rows() x X.cols()). Row-parallel on the
+  /// global runtime pool; bitwise identical for any thread count.
   Matrix multiply(const Matrix& x) const;
 
-  /// The transposed matrix (materialized once, cached by callers).
-  SparseMatrix transposed() const;
+  /// Sᵀ, materialized lazily on the first call and cached for the lifetime
+  /// of this matrix (the adjacency is constant per instance, so backward
+  /// passes reuse one materialization instead of rebuilding it). Thread
+  /// safe; copies share the cache; the row-normalizing mutators invalidate
+  /// it. The returned transpose carries no cache of its own.
+  const SparseMatrix& transposed() const;
 
   /// Divides every row by `divisor[row]` (no-op rows where divisor is 0);
   /// used for mean aggregation (Eq. 6's 1/|N(v)| factor).
@@ -46,11 +52,15 @@ class SparseMatrix {
   const std::vector<float>& val() const { return val_; }
 
  private:
+  SparseMatrix materialize_transposed() const;
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<std::size_t> row_ptr_;   // size rows_+1
   std::vector<std::uint32_t> col_;
   std::vector<float> val_;
+  /// Lazily filled by transposed(); shared (not deep-copied) on copy.
+  mutable std::shared_ptr<const SparseMatrix> transpose_cache_;
 };
 
 }  // namespace ns::nn

@@ -191,13 +191,12 @@ TensorId Tape::tanh_fn(TensorId a) {
   });
 }
 
-TensorId Tape::spmm(const SparseMatrix* s, const SparseMatrix* st,
-                    TensorId x) {
+TensorId Tape::spmm(const SparseMatrix* s, TensorId x) {
   const std::int32_t xi = x.idx;
   const std::int32_t yi = static_cast<std::int32_t>(nodes_.size());
   Matrix y = s->multiply(value_ref(xi));
-  return push(std::move(y), [st, xi, yi](Tape& t) {
-    t.grad_ref(xi).add_in_place(st->multiply(t.grad_ref(yi)));
+  return push(std::move(y), [s, xi, yi](Tape& t) {
+    t.grad_ref(xi).add_in_place(s->transposed().multiply(t.grad_ref(yi)));
   });
 }
 

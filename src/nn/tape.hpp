@@ -71,9 +71,10 @@ class Tape {
   TensorId tanh_fn(TensorId a);
 
   // --- graph / structure ops ---------------------------------------------
-  /// Y = S·X with constant sparse S; `st` must be S transposed. Both must
-  /// outlive the tape.
-  TensorId spmm(const SparseMatrix* s, const SparseMatrix* st, TensorId x);
+  /// Y = S·X with constant sparse S, which must outlive the tape. The
+  /// backward pass multiplies by `s->transposed()`, materialized once per
+  /// matrix and cached (inference-only tapes never pay for it).
+  TensorId spmm(const SparseMatrix* s, TensorId x);
 
   /// Y = X / ‖X‖_F (Eq. 8's Q̃, K̃).
   TensorId frobenius_normalize(TensorId a);

@@ -1,0 +1,171 @@
+#include "runtime/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ns::runtime {
+namespace {
+
+/// Set while the current thread executes chunks, so nested parallel_for
+/// calls run inline instead of deadlocking on the pool.
+thread_local bool tl_in_parallel_region = false;
+
+}  // namespace
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("NS_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+/// One parallel_for invocation. Workers hold a shared_ptr to the job they
+/// are draining, so a late worker can never claim chunks of a newer job:
+/// its (exhausted) chunk counter belongs to the old Job object.
+struct ThreadPool::Job {
+  const RangeBody* body = nullptr;
+  std::size_t n = 0;
+  std::size_t chunks = 0;
+  std::atomic<std::size_t> next_chunk{0};
+  std::size_t remaining = 0;  ///< chunks not yet finished; guarded by mutex
+};
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  bool stop = false;
+  std::shared_ptr<Job> job;  ///< non-null while a parallel_for is active
+
+  std::mutex caller_mutex;  ///< serializes concurrent top-level callers
+  std::vector<std::thread> workers;
+};
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : num_threads_(num_threads == 0 ? default_thread_count() : num_threads),
+      impl_(new Impl) {
+  impl_->workers.reserve(num_threads_ - 1);
+  for (std::size_t i = 0; i + 1 < num_threads_; ++i) {
+    impl_->workers.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+void ThreadPool::run_job(Job& job) {
+  tl_in_parallel_region = true;
+  std::size_t finished = 0;
+  for (;;) {
+    const std::size_t c =
+        job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.chunks) break;
+    // Static chunk boundaries: a function of (n, chunks) only.
+    const std::size_t begin = c * job.n / job.chunks;
+    const std::size_t end = (c + 1) * job.n / job.chunks;
+    (*job.body)(begin, end);
+    ++finished;
+  }
+  tl_in_parallel_region = false;
+  if (finished > 0) {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    job.remaining -= finished;
+    if (job.remaining == 0) impl_->done_cv.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::shared_ptr<Job> last;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(impl_->mutex);
+      impl_->work_cv.wait(lock, [&] {
+        return impl_->stop || (impl_->job != nullptr && impl_->job != last);
+      });
+      if (impl_->stop) return;
+      job = impl_->job;
+    }
+    run_job(*job);
+    last = std::move(job);  // keeps the address alive: no ABA on impl_->job
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const RangeBody& body) {
+  if (n == 0) return;
+  if (num_threads_ <= 1 || n == 1 || tl_in_parallel_region) {
+    body(0, n);
+    return;
+  }
+  std::lock_guard<std::mutex> caller_lock(impl_->caller_mutex);
+  auto job = std::make_shared<Job>();
+  job->body = &body;
+  job->n = n;
+  job->chunks = std::min(num_threads_, n);
+  job->remaining = job->chunks;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->job = job;
+  }
+  impl_->work_cv.notify_all();
+  run_job(*job);  // the calling thread participates
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->done_cv.wait(lock, [&] { return job->remaining == 0; });
+    impl_->job.reset();
+  }
+}
+
+namespace {
+
+std::mutex& global_pool_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(global_pool_mutex());
+  auto& slot = global_pool_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void set_global_thread_count(std::size_t n) {
+  std::lock_guard<std::mutex> lock(global_pool_mutex());
+  global_pool_slot() = std::make_unique<ThreadPool>(n);
+}
+
+void parallel_for(std::size_t n, const RangeBody& body,
+                  std::size_t serial_below) {
+  if (n < serial_below) {
+    if (n > 0) body(0, n);
+    return;
+  }
+  global_pool().parallel_for(n, body);
+}
+
+}  // namespace ns::runtime

@@ -1,0 +1,77 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Deterministic parallel runtime: a fixed-size thread pool plus a
+/// `parallel_for` with static chunking.
+///
+/// Design rules (see DESIGN.md §8):
+///  - No work stealing, no dynamic load balancing of *indices*: the loop
+///    range [0, n) is split into contiguous chunks whose boundaries depend
+///    only on n and the chunk count, never on timing. Threads claim whole
+///    chunks; which thread runs a chunk is irrelevant as long as bodies
+///    write disjoint state per index, so results are bitwise identical for
+///    any thread count.
+///  - Nested `parallel_for` calls (from inside a worker) run inline on the
+///    calling thread, so outer-level parallelism (e.g. over dataset
+///    instances) automatically serializes the inner kernels instead of
+///    oversubscribing.
+///  - The pool size defaults to the `NS_THREADS` environment variable when
+///    set, else `std::thread::hardware_concurrency()`.
+
+#include <cstddef>
+#include <functional>
+
+namespace ns::runtime {
+
+/// Chunk body: processes loop indices [begin, end).
+using RangeBody = std::function<void(std::size_t begin, std::size_t end)>;
+
+/// Worker count from `NS_THREADS` (if a positive integer), else
+/// `hardware_concurrency()` (min 1).
+std::size_t default_thread_count();
+
+/// Fixed pool of `size()` logical threads (the calling thread participates,
+/// so `size() - 1` OS threads are spawned). `parallel_for` blocks until the
+/// whole range is processed; concurrent top-level calls serialize.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` means `default_thread_count()`.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return num_threads_; }
+
+  /// Runs `body` over [0, n), split into min(size(), n) static chunks.
+  /// Runs inline when the pool has one thread or when called from inside
+  /// another parallel_for (nested parallelism).
+  void parallel_for(std::size_t n, const RangeBody& body);
+
+ private:
+  struct Job;
+
+  void worker_loop();
+  void run_job(Job& job);
+
+  std::size_t num_threads_ = 1;
+  struct Impl;
+  Impl* impl_ = nullptr;  // pimpl keeps <thread>/<mutex> out of the header
+};
+
+/// The process-wide pool used by the nn kernels and the data pipeline.
+/// Created on first use with `default_thread_count()` workers.
+ThreadPool& global_pool();
+
+/// Rebuilds the global pool with `n` threads (0 = default). Must not be
+/// called while parallel work is in flight; intended for benches and tests
+/// that sweep thread counts.
+void set_global_thread_count(std::size_t n);
+
+/// `global_pool().parallel_for(n, body)`, except the loop runs inline when
+/// `n < serial_below` (cheap ranges skip the dispatch overhead entirely —
+/// results are identical either way).
+void parallel_for(std::size_t n, const RangeBody& body,
+                  std::size_t serial_below = 0);
+
+}  // namespace ns::runtime

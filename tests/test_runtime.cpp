@@ -1,0 +1,293 @@
+/// Determinism contract of the parallel runtime (DESIGN.md §8): the
+/// pool-backed kernels must be bitwise equal to their serial references at
+/// every thread count, batched classification must match per-instance
+/// classification exactly, and parallel labelling must produce the same
+/// labels as the serial pipeline.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "core/labeling.hpp"
+#include "core/neuroselect.hpp"
+#include "gen/dataset.hpp"
+#include "nn/matrix.hpp"
+#include "nn/models.hpp"
+#include "nn/sparse.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace ns {
+namespace {
+
+using nn::Matrix;
+using nn::SparseMatrix;
+
+// Serial reference kernels: the exact loops the repo shipped before the
+// parallel runtime. The threaded kernels must reproduce them bit for bit.
+
+Matrix ref_matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = a.at(i, k);
+      if (aik == 0.0f) continue;
+      const float* brow = b.data() + k * b.cols();
+      float* crow = c.data() + i * c.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix ref_matmul_at_b(const Matrix& a, const Matrix& b) {
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const float* arow = a.data() + k * a.cols();
+    const float* brow = b.data() + k * b.cols();
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = c.data() + i * c.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix ref_matmul_a_bt(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const float* brow = b.data() + j * b.cols();
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Matrix ref_spmm(const SparseMatrix& s, const Matrix& x) {
+  Matrix y(s.rows(), x.cols());
+  for (std::size_t r = 0; r < s.rows(); ++r) {
+    float* yrow = y.data() + r * y.cols();
+    for (std::size_t e = s.row_ptr()[r]; e < s.row_ptr()[r + 1]; ++e) {
+      const float w = s.val()[e];
+      const float* xrow = x.data() + s.col()[e] * x.cols();
+      for (std::size_t j = 0; j < x.cols(); ++j) yrow[j] += w * xrow[j];
+    }
+  }
+  return y;
+}
+
+void expect_bitwise_equal(const Matrix& expected, const Matrix& actual) {
+  ASSERT_EQ(expected.rows(), actual.rows());
+  ASSERT_EQ(expected.cols(), actual.cols());
+  EXPECT_EQ(std::memcmp(expected.data(), actual.data(),
+                        expected.size() * sizeof(float)),
+            0);
+}
+
+/// Random matrix with some exact zeros, to exercise the skip-zero branch.
+Matrix sparse_random(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Matrix m = Matrix::xavier(rows, cols, rng);
+  std::uniform_int_distribution<int> coin(0, 4);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (coin(rng) == 0) m.data()[i] = 0.0f;
+  }
+  return m;
+}
+
+SparseMatrix random_csr(std::size_t rows, std::size_t cols, std::size_t nnz,
+                        std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint32_t> row(
+      0, static_cast<std::uint32_t>(rows - 1));
+  std::uniform_int_distribution<std::uint32_t> col(
+      0, static_cast<std::uint32_t>(cols - 1));
+  std::uniform_real_distribution<float> weight(-1.0f, 1.0f);
+  std::vector<std::uint32_t> ri, ci;
+  std::vector<float> v;
+  for (std::size_t k = 0; k < nnz; ++k) {
+    ri.push_back(row(rng));
+    ci.push_back(col(rng));
+    v.push_back(weight(rng));
+  }
+  return SparseMatrix::from_coo(rows, cols, ri, ci, v);
+}
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+/// Restores the default global pool after each test that resizes it.
+class RuntimeTest : public ::testing::Test {
+ protected:
+  ~RuntimeTest() override { runtime::set_global_thread_count(0); }
+};
+
+TEST_F(RuntimeTest, ParallelForCoversEachIndexExactlyOnce) {
+  runtime::ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST_F(RuntimeTest, ParallelForRunsRepeatedJobs) {
+  runtime::ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(64, [&](std::size_t b, std::size_t e) {
+      std::size_t local = 0;
+      for (std::size_t i = b; i < e; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 64u * 63u / 2u);
+  }
+}
+
+TEST_F(RuntimeTest, NestedParallelForRunsInline) {
+  runtime::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(256);
+  pool.parallel_for(16, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      // A nested call must not deadlock; it executes on this thread.
+      pool.parallel_for(16, [&](std::size_t b2, std::size_t e2) {
+        for (std::size_t j = b2; j < e2; ++j) hits[i * 16 + j].fetch_add(1);
+      });
+    }
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST_F(RuntimeTest, DefaultThreadCountHonorsEnv) {
+  setenv("NS_THREADS", "3", 1);
+  EXPECT_EQ(runtime::default_thread_count(), 3u);
+  setenv("NS_THREADS", "not-a-number", 1);
+  EXPECT_GE(runtime::default_thread_count(), 1u);
+  unsetenv("NS_THREADS");
+  EXPECT_GE(runtime::default_thread_count(), 1u);
+}
+
+TEST_F(RuntimeTest, GemmBitwiseEqualAcrossThreadCounts) {
+  // Big enough to clear the kernels' serial-below threshold.
+  const Matrix a = sparse_random(65, 70, 1);
+  const Matrix b = sparse_random(70, 60, 2);   // for A·B
+  const Matrix a2 = sparse_random(70, 65, 4);  // for A₂ᵀ·B (same row count)
+  const Matrix b2 = sparse_random(65, 70, 3);  // for A·B₂ᵀ (same col count)
+  const Matrix ab_ref = ref_matmul(a, b);
+  const Matrix atb_ref = ref_matmul_at_b(a2, b);
+  const Matrix abt_ref = ref_matmul_a_bt(a, b2);
+  for (const std::size_t t : kThreadCounts) {
+    runtime::set_global_thread_count(t);
+    expect_bitwise_equal(ab_ref, nn::matmul(a, b));
+    expect_bitwise_equal(atb_ref, nn::matmul_at_b(a2, b));
+    expect_bitwise_equal(abt_ref, nn::matmul_a_bt(a, b2));
+  }
+}
+
+TEST_F(RuntimeTest, SpmmBitwiseEqualAcrossThreadCounts) {
+  const SparseMatrix s = random_csr(500, 400, 6000, 7);
+  const Matrix x = sparse_random(400, 32, 8);
+  const Matrix y_ref = ref_spmm(s, x);
+  for (const std::size_t t : kThreadCounts) {
+    runtime::set_global_thread_count(t);
+    expect_bitwise_equal(y_ref, s.multiply(x));
+  }
+}
+
+TEST_F(RuntimeTest, TransposedIsCachedAndCorrect) {
+  const SparseMatrix s = random_csr(40, 30, 200, 9);
+  const SparseMatrix& t1 = s.transposed();
+  const SparseMatrix& t2 = s.transposed();
+  EXPECT_EQ(&t1, &t2);  // one materialization, cached
+  ASSERT_EQ(t1.rows(), s.cols());
+  ASSERT_EQ(t1.cols(), s.rows());
+  // (Sᵀ)ᵀ · X must match S · X numerically (the double transpose reorders
+  // entries within rows, so only tolerance equality holds).
+  const Matrix x = sparse_random(30, 4, 10);
+  EXPECT_LT(nn::max_abs_diff(ref_spmm(s, x), t1.transposed().multiply(x)),
+            1e-5f);
+}
+
+TEST_F(RuntimeTest, NormalizationInvalidatesTransposeCache) {
+  SparseMatrix s = random_csr(20, 20, 80, 11);
+  const Matrix x = sparse_random(20, 3, 12);
+  (void)s.transposed();  // warm the cache with pre-normalization values
+  s.normalize_rows_by_degree();
+  // If the stale cache survived, the normalization would be missing from
+  // the round trip and the difference would be O(row degree), not epsilon.
+  const Matrix via_transpose = s.transposed().transposed().multiply(x);
+  EXPECT_LT(nn::max_abs_diff(ref_spmm(s, x), via_transpose), 1e-5f);
+}
+
+TEST_F(RuntimeTest, ClassifyBatchMatchesPerInstanceClassify) {
+  const std::vector<gen::NamedInstance> split = gen::generate_split(2022, 4, 3);
+  std::vector<nn::GraphBatch> graphs;
+  graphs.reserve(split.size());
+  for (const gen::NamedInstance& inst : split) {
+    graphs.push_back(nn::GraphBatch::build(inst.formula));
+  }
+  std::vector<const nn::GraphBatch*> batch;
+  for (const nn::GraphBatch& g : graphs) batch.push_back(&g);
+
+  nn::NeuroSelectModel model;
+  std::vector<float> serial;
+  for (const nn::GraphBatch* g : batch) {
+    serial.push_back(model.predict_probability(*g));
+  }
+  for (const std::size_t t : kThreadCounts) {
+    runtime::set_global_thread_count(t);
+    EXPECT_EQ(core::classify_batch(model, batch), serial);
+  }
+}
+
+TEST_F(RuntimeTest, LabelDatasetDeterministicAcrossThreadCounts) {
+  core::LabelingOptions lopts;
+  lopts.max_propagations = 50'000;
+  std::vector<core::LabeledInstance> reference;
+  for (const std::size_t t : kThreadCounts) {
+    runtime::set_global_thread_count(t);
+    std::vector<core::LabeledInstance> labeled =
+        core::label_dataset(gen::generate_split(2022, 4, 3), lopts);
+    if (t == kThreadCounts[0]) {
+      reference = std::move(labeled);
+      continue;
+    }
+    ASSERT_EQ(labeled.size(), reference.size());
+    for (std::size_t i = 0; i < labeled.size(); ++i) {
+      EXPECT_EQ(labeled[i].label, reference[i].label);
+      EXPECT_EQ(labeled[i].propagations_default,
+                reference[i].propagations_default);
+      EXPECT_EQ(labeled[i].propagations_frequency,
+                reference[i].propagations_frequency);
+      EXPECT_EQ(labeled[i].instance.name, reference[i].instance.name);
+    }
+  }
+}
+
+TEST_F(RuntimeTest, GenerateSplitDeterministicAcrossThreadCounts) {
+  runtime::set_global_thread_count(1);
+  const std::vector<gen::NamedInstance> serial =
+      gen::generate_split(2020, 12, 42);
+  runtime::set_global_thread_count(8);
+  const std::vector<gen::NamedInstance> threaded =
+      gen::generate_split(2020, 12, 42);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].name, threaded[i].name);
+    EXPECT_EQ(serial[i].family, threaded[i].family);
+    ASSERT_EQ(serial[i].formula.num_clauses(), threaded[i].formula.num_clauses());
+    EXPECT_EQ(serial[i].formula.num_vars(), threaded[i].formula.num_vars());
+  }
+}
+
+}  // namespace
+}  // namespace ns
