@@ -54,9 +54,10 @@ struct EndToEndSummary {
 };
 
 /// P(label == 1) for every graph in `batch`, fanned over the runtime pool
-/// (one tape per instance; the model parameters are only read). Bitwise
-/// identical to calling `model.predict_probability` per graph, for any
-/// thread count.
+/// (one recorded program + inference-mode executor per instance; the model
+/// parameters are only read, and no gradient storage is allocated).
+/// Bitwise identical to calling `model.predict_probability` per graph, for
+/// any thread count.
 std::vector<float> classify_batch(
     nn::SatClassifier& model,
     const std::vector<const nn::GraphBatch*>& batch);

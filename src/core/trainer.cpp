@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <numeric>
 #include <random>
 
@@ -28,6 +29,19 @@ std::vector<EpochStats> train_classifier(
   std::vector<std::size_t> order(train.size());
   std::iota(order.begin(), order.end(), 0);
 
+  // Compile-once cache: each instance's forward+loss graph is recorded on
+  // its first visit and re-executed every epoch after that. Parameter
+  // leaves bind live values, so re-running the same program after an
+  // optimizer step is exactly the re-record-every-step computation, minus
+  // the recording. Heap-allocated so Program addresses stay stable for the
+  // executors.
+  struct Compiled {
+    nn::Tape tape;
+    nn::TensorId logit, loss;
+    std::unique_ptr<nn::Executor> exec;
+  };
+  std::vector<std::unique_ptr<Compiled>> compiled(train.size());
+
   std::vector<EpochStats> history;
   history.reserve(options.epochs);
   for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
@@ -36,14 +50,21 @@ std::vector<EpochStats> train_classifier(
     std::size_t correct = 0;
     for (const std::size_t idx : order) {
       const LabeledInstance& inst = train[idx];
-      nn::Tape tape;
-      const nn::TensorId logit = model.forward_logit(tape, inst.graph);
-      const nn::TensorId loss = tape.bce_with_logits(
-          logit, static_cast<float>(inst.label), pos_weight);
-      loss_sum += tape.value(loss).at(0, 0);
-      const bool predicted_pos = tape.value(logit).at(0, 0) > 0.0f;
+      if (!compiled[idx]) {
+        auto c = std::make_unique<Compiled>();
+        c->logit = model.forward_logit(c->tape, inst.graph);
+        c->loss = c->tape.bce_with_logits(
+            c->logit, static_cast<float>(inst.label), pos_weight);
+        c->exec = std::make_unique<nn::Executor>(c->tape.program(),
+                                                 nn::ExecMode::kTraining);
+        compiled[idx] = std::move(c);
+      }
+      Compiled& c = *compiled[idx];
+      c.exec->forward();
+      loss_sum += c.exec->value(c.loss).at(0, 0);
+      const bool predicted_pos = c.exec->value(c.logit).at(0, 0) > 0.0f;
       correct += (predicted_pos == (inst.label == 1)) ? 1 : 0;
-      tape.backward(loss);
+      c.exec->backward(c.loss);
       optimizer.step();  // batch size 1, as in the paper
     }
     EpochStats st;

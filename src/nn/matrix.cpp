@@ -13,10 +13,15 @@ namespace {
 /// is computed by exactly one thread with the serial accumulation order.
 constexpr std::size_t kMinParallelOps = std::size_t{1} << 15;
 
-/// Parallelizes over output rows when the kernel is big enough.
+/// Parallelizes over output rows when the kernel is big enough. Templated
+/// on the body so the inline path (small kernels, or a single-thread pool)
+/// never constructs a `runtime::RangeBody` — our capturing lambdas exceed
+/// std::function's small-buffer size, and that hidden heap allocation would
+/// break the executor's allocation-free inference contract.
+template <typename Body>
 void for_each_output_row(std::size_t rows, std::size_t total_ops,
-                         const runtime::RangeBody& body) {
-  if (total_ops < kMinParallelOps) {
+                         const Body& body) {
+  if (total_ops < kMinParallelOps || runtime::global_pool().size() <= 1) {
     body(0, rows);
     return;
   }
@@ -56,9 +61,10 @@ float Matrix::sum() const {
   return static_cast<float>(acc);
 }
 
-Matrix matmul(const Matrix& a, const Matrix& b) {
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& c) {
   assert(a.cols() == b.rows());
-  Matrix c(a.rows(), b.cols());
+  assert(c.rows() == a.rows() && c.cols() == b.cols());
+  c.fill(0.0f);
   for_each_output_row(
       a.rows(), a.rows() * a.cols() * b.cols(),
       [&](std::size_t r0, std::size_t r1) {
@@ -72,12 +78,12 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
           }
         }
       });
-  return c;
 }
 
-Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+void matmul_at_b_into(const Matrix& a, const Matrix& b, Matrix& c) {
   assert(a.rows() == b.rows());
-  Matrix c(a.cols(), b.cols());
+  assert(c.rows() == a.cols() && c.cols() == b.cols());
+  c.fill(0.0f);
   // Output row i is column i of A: accumulating k in ascending order keeps
   // the per-element float addition sequence of the serial kernel.
   for_each_output_row(
@@ -93,12 +99,11 @@ Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
           }
         }
       });
-  return c;
 }
 
-Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+void matmul_a_bt_into(const Matrix& a, const Matrix& b, Matrix& c) {
   assert(a.cols() == b.cols());
-  Matrix c(a.rows(), b.rows());
+  assert(c.rows() == a.rows() && c.cols() == b.rows());
   for_each_output_row(
       a.rows(), a.rows() * a.cols() * b.rows(),
       [&](std::size_t r0, std::size_t r1) {
@@ -112,6 +117,23 @@ Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
           }
         }
       });
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  matmul_into(a, b, c);
+  return c;
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+  Matrix c(a.cols(), b.cols());
+  matmul_at_b_into(a, b, c);
+  return c;
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.rows());
+  matmul_a_bt_into(a, b, c);
   return c;
 }
 

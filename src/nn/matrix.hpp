@@ -49,6 +49,24 @@ class Matrix {
 
   void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
+  /// Pre-allocates backing storage for `elems` floats (shape unchanged).
+  /// A later `reshape` within this capacity performs no heap allocation —
+  /// the contract the executor's planned workspace relies on.
+  void reserve(std::size_t elems) { data_.reserve(elems); }
+
+  /// Floats the backing storage can hold without reallocating.
+  std::size_t capacity() const { return data_.capacity(); }
+
+  /// Re-dimensions in place to rows×cols. Contents are unspecified (newly
+  /// exposed elements are zero, reused ones keep stale values); callers
+  /// must fully overwrite or `fill` first. Never allocates when
+  /// rows*cols <= capacity().
+  void reshape(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   /// this += other (same shape).
   void add_in_place(const Matrix& other);
 
@@ -79,6 +97,15 @@ Matrix matmul_at_b(const Matrix& a, const Matrix& b);
 
 /// C = A * B^T.
 Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+// `_into` variants write into a caller-shaped output and allocate nothing
+// themselves; the allocating forms above are thin wrappers. Results are
+// bitwise identical either way (same kernels, same accumulation order).
+// `c` must already have the product's shape and must not alias an input.
+
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& c);
+void matmul_at_b_into(const Matrix& a, const Matrix& b, Matrix& c);
+void matmul_a_bt_into(const Matrix& a, const Matrix& b, Matrix& c);
 
 /// Max |a - b| over all entries (shapes must match).
 float max_abs_diff(const Matrix& a, const Matrix& b);

@@ -67,9 +67,22 @@ GraphBatch GraphBatch::build(const CnfFormula& f) {
 // ---------------------------------------------------------------------------
 
 float SatClassifier::predict_probability(const GraphBatch& g) {
-  Tape tape;
-  const TensorId logit = forward_logit(tape, g);
-  const float x = tape.value(logit).at(0, 0);
+  InferenceSession session(*this, g);
+  return session.predict_probability();
+}
+
+// ---------------------------------------------------------------------------
+// InferenceSession
+// ---------------------------------------------------------------------------
+
+InferenceSession::InferenceSession(SatClassifier& model, const GraphBatch& g)
+    : logit_(model.forward_logit(tape_, g)),
+      exec_(std::make_unique<Executor>(tape_.program(),
+                                       ExecMode::kInference)) {}
+
+float InferenceSession::predict_probability() {
+  exec_->forward();
+  const float x = exec_->value(logit_).at(0, 0);
   return 1.0f / (1.0f + std::exp(-x));
 }
 
@@ -119,7 +132,7 @@ LinearAttention::LinearAttention(std::size_t dim, std::mt19937_64& rng)
     : fq_(dim, dim, rng), fk_(dim, dim, rng), fv_(dim, dim, rng) {}
 
 TensorId LinearAttention::forward(Tape& tape, TensorId z) {
-  const std::size_t n = tape.value(z).rows();
+  const std::size_t n = tape.rows(z);  // shape metadata; no execution
   const float inv_n = 1.0f / static_cast<float>(n);
 
   const TensorId q = tape.frobenius_normalize(fq_.forward(tape, z));

@@ -66,8 +66,32 @@ class SatClassifier : public Module {
   /// Records the forward pass on `tape` and returns the (1×1) logit.
   virtual TensorId forward_logit(Tape& tape, const GraphBatch& g) = 0;
 
-  /// Inference convenience: P(label == 1).
+  /// Inference convenience: P(label == 1). Records once and runs an
+  /// inference-mode executor (no gradient storage, planned workspace); for
+  /// repeated queries on the same graph keep an `InferenceSession` instead.
   float predict_probability(const GraphBatch& g);
+};
+
+/// Records a classifier's forward graph over one instance once, then
+/// re-executes it against a liveness-planned inference workspace. Repeated
+/// predictions read the model's *current* parameter values and perform zero
+/// heap allocations per call after construction (with a single-thread
+/// kernel pool; multi-thread fan-out allocates inside the pool dispatch).
+/// The model and `g` must outlive the session.
+class InferenceSession {
+ public:
+  InferenceSession(SatClassifier& model, const GraphBatch& g);
+
+  /// P(label == 1) under the model's current parameters.
+  float predict_probability();
+
+  const Program& program() const { return tape_.program(); }
+  const Executor& executor() const { return *exec_; }
+
+ private:
+  Tape tape_;
+  TensorId logit_;
+  std::unique_ptr<Executor> exec_;
 };
 
 /// One message-passing layer over the bipartite graph (Eqs. 6–7). The MLPs

@@ -43,12 +43,14 @@ SparseMatrix SparseMatrix::from_coo(std::size_t rows, std::size_t cols,
   return s;
 }
 
-Matrix SparseMatrix::multiply(const Matrix& x) const {
+void SparseMatrix::multiply_into(const Matrix& x, Matrix& y) const {
   assert(x.rows() == cols_);
-  Matrix y(rows_, x.cols());
+  assert(y.rows() == rows_ && y.cols() == x.cols());
+  y.fill(0.0f);
   // Each output row is owned by exactly one thread and accumulates its
   // edges in CSR order, so the result is bitwise independent of the thread
-  // count.
+  // count. The single-thread case stays on the inline path so no
+  // std::function is ever constructed (see matrix.cpp).
   const auto rows_body = [&](std::size_t r0, std::size_t r1) {
     for (std::size_t r = r0; r < r1; ++r) {
       float* yrow = y.data() + r * y.cols();
@@ -59,11 +61,17 @@ Matrix SparseMatrix::multiply(const Matrix& x) const {
       }
     }
   };
-  if (nnz() * x.cols() < kMinParallelOps) {
+  if (nnz() * x.cols() < kMinParallelOps ||
+      runtime::global_pool().size() <= 1) {
     rows_body(0, rows_);
   } else {
     runtime::global_pool().parallel_for(rows_, rows_body);
   }
+}
+
+Matrix SparseMatrix::multiply(const Matrix& x) const {
+  Matrix y(rows_, x.cols());
+  multiply_into(x, y);
   return y;
 }
 

@@ -33,6 +33,10 @@ class SparseMatrix {
   /// global runtime pool; bitwise identical for any thread count.
   Matrix multiply(const Matrix& x) const;
 
+  /// Y = S * X into a caller-shaped `y` (rows() x X.cols()); allocates
+  /// nothing itself. `multiply` wraps this; results are bitwise identical.
+  void multiply_into(const Matrix& x, Matrix& y) const;
+
   /// Sᵀ, materialized lazily on the first call and cached for the lifetime
   /// of this matrix (the adjacency is constant per instance, so backward
   /// passes reuse one materialization instead of rebuilding it). Thread

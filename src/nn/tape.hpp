@@ -1,47 +1,38 @@
 #pragma once
 /// \file tape.hpp
-/// Reverse-mode automatic differentiation on dense matrices.
+/// Eager-style facade over the program/executor split.
 ///
-/// A `Tape` records a forward computation as a sequence of nodes; calling
-/// `backward(loss)` seeds d(loss)/d(loss) = 1 and walks the tape in reverse,
-/// accumulating gradients. Leaves bound to `Parameter`s receive their
-/// gradients automatically (`Parameter::grad += node grad`), so a training
-/// step is: build tape → forward → backward → optimizer step → discard tape.
+/// `Tape` keeps the recording API the models were written against, but it
+/// no longer computes anything while recording: every op appends one
+/// instruction to an owned `Program` (program.hpp). The first `value()`,
+/// `grad()` or `backward()` call materializes a training-mode `Executor`
+/// (executor.hpp), runs the forward pass, and caches it until further
+/// recording invalidates the results. A training step is still:
+/// build tape → forward → backward → optimizer step → discard tape — but
+/// the tape (really its program) can now also be kept and re-executed on
+/// fresh parameter values, which is what the trainer's per-instance
+/// compilation cache and the models' `InferenceSession` do.
 ///
-/// The op set is exactly what the paper's models need: dense/sparse matrix
-/// products, elementwise arithmetic and activations, Frobenius
-/// normalization (Eq. 8), row scaling (the D⁻¹ of Eq. 9), broadcasting,
-/// reductions, slicing/concatenation (LSTM gates), row permutation (the
-/// literal-flip of NeuroSAT), and a numerically stable BCE-with-logits loss
-/// (Eq. 11).
+/// Semantics differences from the old eager tape, both deliberate:
+///  - `param(p)` binds `p` live instead of copying `p->value` at record
+///    time: executions read the parameter as it is when they run.
+///  - Constants and nodes with no Parameter upstream get no gradient
+///    storage; `grad()` on them throws instead of returning silent zeros.
+/// Forward values and parameter gradients are bitwise identical to the
+/// eager implementation.
 
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <vector>
 
+#include "nn/executor.hpp"
 #include "nn/matrix.hpp"
+#include "nn/program.hpp"
 #include "nn/sparse.hpp"
 
 namespace ns::nn {
 
-/// A trainable tensor with persistent gradient and Adam state.
-struct Parameter {
-  Matrix value;
-  Matrix grad;
-
-  explicit Parameter(Matrix v = {})
-      : value(std::move(v)), grad(value.rows(), value.cols()) {}
-
-  void zero_grad() { grad.fill(0.0f); }
-};
-
-/// Handle to a tensor recorded on a Tape.
-struct TensorId {
-  std::int32_t idx = -1;
-  bool valid() const { return idx >= 0; }
-};
-
-/// One recorded forward computation.
+/// Records one forward computation and executes it on demand.
 class Tape {
  public:
   Tape() = default;
@@ -49,94 +40,117 @@ class Tape {
   Tape& operator=(const Tape&) = delete;
 
   // --- leaves ---------------------------------------------------------
-  /// Constant input (receives a gradient buffer but nothing reads it).
-  TensorId constant(Matrix value);
+  /// Constant input (no gradient storage is ever attached to it).
+  TensorId constant(Matrix value) { return rec(prog_.constant(std::move(value))); }
 
-  /// Leaf bound to a Parameter: backward() adds into `p->grad`.
-  TensorId param(Parameter* p);
+  /// Leaf bound to a Parameter: backward() adds into `p->grad`. The
+  /// binding is live — executions read `p->value` at execution time.
+  TensorId param(Parameter* p) { return rec(prog_.param(p)); }
 
   // --- dense algebra -----------------------------------------------------
-  TensorId matmul(TensorId a, TensorId b);          ///< A·B
-  TensorId matmul_at_b(TensorId a, TensorId b);     ///< Aᵀ·B
-  TensorId add(TensorId a, TensorId b);
-  TensorId sub(TensorId a, TensorId b);
-  TensorId hadamard(TensorId a, TensorId b);        ///< elementwise product
-  TensorId scale(TensorId a, float s);
-  TensorId add_scalar(TensorId a, float s);
-  TensorId reciprocal(TensorId a);                  ///< elementwise 1/x
+  TensorId matmul(TensorId a, TensorId b) { return rec(prog_.matmul(a, b)); }
+  TensorId matmul_at_b(TensorId a, TensorId b) {
+    return rec(prog_.matmul_at_b(a, b));
+  }
+  TensorId add(TensorId a, TensorId b) { return rec(prog_.add(a, b)); }
+  TensorId sub(TensorId a, TensorId b) { return rec(prog_.sub(a, b)); }
+  TensorId hadamard(TensorId a, TensorId b) {
+    return rec(prog_.hadamard(a, b));
+  }
+  TensorId scale(TensorId a, float s) { return rec(prog_.scale(a, s)); }
+  TensorId add_scalar(TensorId a, float s) {
+    return rec(prog_.add_scalar(a, s));
+  }
+  TensorId reciprocal(TensorId a) { return rec(prog_.reciprocal(a)); }
 
   // --- activations ------------------------------------------------------
-  TensorId relu(TensorId a);
-  TensorId sigmoid(TensorId a);
-  TensorId tanh_fn(TensorId a);
+  TensorId relu(TensorId a) { return rec(prog_.relu(a)); }
+  TensorId sigmoid(TensorId a) { return rec(prog_.sigmoid(a)); }
+  TensorId tanh_fn(TensorId a) { return rec(prog_.tanh_fn(a)); }
 
   // --- graph / structure ops ---------------------------------------------
-  /// Y = S·X with constant sparse S, which must outlive the tape. The
-  /// backward pass multiplies by `s->transposed()`, materialized once per
-  /// matrix and cached (inference-only tapes never pay for it).
-  TensorId spmm(const SparseMatrix* s, TensorId x);
-
-  /// Y = X / ‖X‖_F (Eq. 8's Q̃, K̃).
-  TensorId frobenius_normalize(TensorId a);
-
-  /// Y = X + 1·b, bias row `b` (1×d) broadcast over rows.
-  TensorId add_row_broadcast(TensorId x, TensorId bias_row);
-
-  /// Y (n×d) = row (1×d) repeated n times.
-  TensorId broadcast_row(TensorId row, std::size_t n);
-
-  /// Y_ij = X_ij * s_i with s an (N×1) column (Eq. 9's D⁻¹ application).
-  TensorId row_mul(TensorId x, TensorId s);
-
-  /// Y = X * s with s a trainable (1×1) scalar node (ReZero-style gates).
-  TensorId scalar_mul(TensorId x, TensorId s);
-
-  /// Column mean over rows: (N×d) → (1×d) (the READOUT of Eq. 10).
-  TensorId mean_rows(TensorId a);
-
-  /// Horizontal concatenation [A | B].
-  TensorId concat_cols(TensorId a, TensorId b);
-
-  /// Column slice [start, start+len).
-  TensorId slice_cols(TensorId a, std::size_t start, std::size_t len);
-
-  /// Y[i] = X[perm[i]]; `perm` must be a permutation of the row indices.
-  TensorId permute_rows(TensorId a, std::vector<std::uint32_t> perm);
+  TensorId spmm(const SparseMatrix* s, TensorId x) {
+    return rec(prog_.spmm(s, x));
+  }
+  TensorId frobenius_normalize(TensorId a) {
+    return rec(prog_.frobenius_normalize(a));
+  }
+  TensorId add_row_broadcast(TensorId x, TensorId bias_row) {
+    return rec(prog_.add_row_broadcast(x, bias_row));
+  }
+  TensorId broadcast_row(TensorId row, std::size_t n) {
+    return rec(prog_.broadcast_row(row, n));
+  }
+  TensorId row_mul(TensorId x, TensorId s) { return rec(prog_.row_mul(x, s)); }
+  TensorId scalar_mul(TensorId x, TensorId s) {
+    return rec(prog_.scalar_mul(x, s));
+  }
+  TensorId mean_rows(TensorId a) { return rec(prog_.mean_rows(a)); }
+  TensorId concat_cols(TensorId a, TensorId b) {
+    return rec(prog_.concat_cols(a, b));
+  }
+  TensorId slice_cols(TensorId a, std::size_t start, std::size_t len) {
+    return rec(prog_.slice_cols(a, start, len));
+  }
+  TensorId permute_rows(TensorId a, std::vector<std::uint32_t> perm) {
+    return rec(prog_.permute_rows(a, std::move(perm)));
+  }
 
   // --- losses -----------------------------------------------------------
-  /// Numerically stable binary cross-entropy on a (1×1) logit (Eq. 11).
-  /// `pos_weight` scales the positive-class term (class rebalancing):
-  /// loss = pos_weight·y·softplus(-x) + (1-y)·softplus(x).
   TensorId bce_with_logits(TensorId logit, float target,
-                           float pos_weight = 1.0f);
+                           float pos_weight = 1.0f) {
+    return rec(prog_.bce_with_logits(logit, target, pos_weight));
+  }
 
   // --- execution ---------------------------------------------------------
-  const Matrix& value(TensorId id) const { return nodes_[id.idx].value; }
-  const Matrix& grad(TensorId id) const { return nodes_[id.idx].grad; }
+  /// Forward value; (re)executes the recorded program if needed.
+  const Matrix& value(TensorId id) const {
+    ensure_forward();
+    return exec_->value(id);
+  }
+
+  /// Gradient buffer of a `requires_grad` node (zeros until backward()).
+  /// Throws `std::logic_error` for constants and other gradient-free nodes.
+  const Matrix& grad(TensorId id) const {
+    ensure_forward();
+    return exec_->grad(id);
+  }
 
   /// Runs reverse-mode accumulation from `loss` (any shape; seeded with 1s)
   /// and adds leaf gradients into their bound Parameters.
-  void backward(TensorId loss);
-
-  std::size_t num_nodes() const { return nodes_.size(); }
-
- private:
-  struct Node {
-    Matrix value;
-    Matrix grad;
-    std::function<void(Tape&)> backward_fn;  ///< nullptr for leaves
-    Parameter* bound_param = nullptr;
-  };
-
-  TensorId push(Matrix value, std::function<void(Tape&)> backward_fn,
-                Parameter* bound = nullptr);
-
-  Matrix& grad_ref(std::int32_t idx) { return nodes_[idx].grad; }
-  const Matrix& value_ref(std::int32_t idx) const {
-    return nodes_[idx].value;
+  void backward(TensorId loss) {
+    ensure_forward();
+    exec_->backward(loss);
   }
 
-  std::vector<Node> nodes_;
+  std::size_t num_nodes() const { return prog_.num_insts(); }
+
+  /// Shape of a recorded node, available without executing (use these
+  /// instead of `value(id).rows()` while still recording).
+  std::size_t rows(TensorId id) const { return prog_.rows(id); }
+  std::size_t cols(TensorId id) const { return prog_.cols(id); }
+
+  /// The recorded program — hand it to an `Executor` (e.g. in
+  /// `ExecMode::kInference`) to re-run it outside the tape.
+  const Program& program() const { return prog_; }
+
+ private:
+  TensorId rec(TensorId id) {
+    dirty_ = true;
+    return id;
+  }
+
+  void ensure_forward() const {
+    if (dirty_ || !exec_) {
+      exec_ = std::make_unique<Executor>(prog_, ExecMode::kTraining);
+      exec_->forward();
+      dirty_ = false;
+    }
+  }
+
+  Program prog_;
+  mutable std::unique_ptr<Executor> exec_;
+  mutable bool dirty_ = true;
 };
 
 }  // namespace ns::nn

@@ -90,6 +90,38 @@ class ClauseView {
   std::uint32_t* base_;
 };
 
+/// Read-only proxy to one clause inside the arena. The const counterpart
+/// of ClauseView: a `const ClauseDb` hands out these, so inspection paths
+/// (statistics, graph extraction, invariant checks) never need — and never
+/// get — mutable access to the underlying words.
+class ConstClauseView {
+ public:
+  explicit ConstClauseView(const std::uint32_t* base) : base_(base) {}
+
+  std::uint32_t size() const { return base_[0]; }
+
+  bool learned() const { return (base_[1] & ClauseView::kLearnedBit) != 0; }
+  bool garbage() const { return (base_[1] & ClauseView::kGarbageBit) != 0; }
+  bool protected_reason() const {
+    return (base_[1] & ClauseView::kProtectedBit) != 0;
+  }
+  bool used() const { return (base_[1] & ClauseView::kUsedBit) != 0; }
+
+  std::uint32_t glue() const { return base_[1] >> ClauseView::kGlueShift; }
+  float activity() const { return std::bit_cast<float>(base_[2]); }
+
+  Lit lit(std::uint32_t i) const {
+    assert(i < size());
+    return Lit::from_code(base_[3 + i]);
+  }
+
+  const Lit* begin() const { return reinterpret_cast<const Lit*>(base_ + 3); }
+  const Lit* end() const { return begin() + size(); }
+
+ private:
+  const std::uint32_t* base_;
+};
+
 /// The arena itself.
 class ClauseDb {
  public:
@@ -113,8 +145,9 @@ class ClauseDb {
     assert(ref + kHeaderWords <= data_.size());
     return ClauseView(data_.data() + ref);
   }
-  const ClauseView view(ClauseRef ref) const {
-    return ClauseView(const_cast<std::uint32_t*>(data_.data() + ref));
+  ConstClauseView view(ClauseRef ref) const {
+    assert(ref + kHeaderWords <= data_.size());
+    return ConstClauseView(data_.data() + ref);
   }
 
   /// Marks a clause garbage (idempotent). Does not free memory.
@@ -132,13 +165,25 @@ class ClauseDb {
   std::size_t arena_words() const { return data_.size(); }
   std::size_t garbage_words() const { return garbage_words_; }
 
-  /// Visits every live clause reference in arena order.
+  /// Visits every live clause reference in arena order (mutable views).
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    std::size_t off = 0;
+    while (off < data_.size()) {
+      const std::uint32_t size = data_[off];
+      ClauseView c(data_.data() + off);
+      if (!c.garbage()) fn(static_cast<ClauseRef>(off), c);
+      off += kHeaderWords + size;
+    }
+  }
+
+  /// Visits every live clause reference in arena order (read-only views).
   template <typename Fn>
   void for_each(Fn&& fn) const {
     std::size_t off = 0;
     while (off < data_.size()) {
       const std::uint32_t size = data_[off];
-      ClauseView c = ClauseView(const_cast<std::uint32_t*>(data_.data() + off));
+      ConstClauseView c(data_.data() + off);
       if (!c.garbage()) fn(static_cast<ClauseRef>(off), c);
       off += kHeaderWords + size;
     }

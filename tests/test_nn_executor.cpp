@@ -1,0 +1,329 @@
+/// Program/executor split: bitwise parity against the seed eager tape
+/// (tests/eager_reference.hpp), recording-time shape diagnostics, the
+/// inference-mode contract (no gradients, recycled intermediates), and the
+/// liveness planner's buffer reuse.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <string>
+
+#include "eager_reference.hpp"
+#include "gen/generators.hpp"
+#include "graph/graph.hpp"
+#include "nn/executor.hpp"
+#include "nn/models.hpp"
+#include "nn/tape.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace ns::nn {
+namespace {
+
+/// Bitwise equality: every float identical down to the bit pattern
+/// (memcmp, so NaN payloads and signed zeros count too).
+::testing::AssertionResult bitwise_equal(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return ::testing::AssertionFailure()
+           << "shape " << a.rows() << "x" << a.cols() << " vs " << b.rows()
+           << "x" << b.cols();
+  }
+  if (std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0) {
+    return ::testing::AssertionSuccess();
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a.data()[i], &b.data()[i], sizeof(float)) != 0) {
+      return ::testing::AssertionFailure()
+             << "first mismatch at flat index " << i << ": " << a.data()[i]
+             << " vs " << b.data()[i];
+    }
+  }
+  return ::testing::AssertionFailure() << "memcmp mismatch";
+}
+
+std::vector<Matrix> snapshot_grads(const std::vector<Parameter*>& params) {
+  std::vector<Matrix> out;
+  out.reserve(params.size());
+  for (Parameter* p : params) out.push_back(p->grad);
+  return out;
+}
+
+class ExecutorParityTest
+    : public ::testing::TestWithParam<std::tuple<ClassifierKind, int>> {
+ protected:
+  ~ExecutorParityTest() override { runtime::set_global_thread_count(0); }
+};
+
+/// The heart of the refactor's acceptance: for every classifier, at 1 and
+/// 8 threads, the planned executor's forward values and parameter
+/// gradients are bit-for-bit those of the seed eager tape.
+TEST_P(ExecutorParityTest, ForwardAndGradientsMatchEagerBitwise) {
+  const auto [kind, threads] = GetParam();
+  runtime::set_global_thread_count(static_cast<std::size_t>(threads));
+
+  auto model = make_classifier(kind, 7);
+  const GraphBatch g = GraphBatch::build(gen::random_ksat(12, 40, 3, 77));
+  const std::vector<Parameter*> params = model->parameters();
+
+  Tape tape;
+  const TensorId logit = model->forward_logit(tape, g);
+  const TensorId loss = tape.bce_with_logits(logit, 1.0f, 2.0f);
+
+  // Reference pass: replay the recorded program on the verbatim seed tape.
+  for (Parameter* p : params) p->zero_grad();
+  testing::EagerTape eager;
+  testing::replay_on_eager(tape.program(), eager);
+  eager.backward(loss);
+  const Matrix eager_logit = eager.value(logit);
+  const Matrix eager_loss = eager.value(loss);
+  const std::vector<Matrix> eager_grads = snapshot_grads(params);
+
+  // Executor pass into the same Parameter objects, grads re-zeroed.
+  for (Parameter* p : params) p->zero_grad();
+  Executor exec(tape.program(), ExecMode::kTraining);
+  exec.forward();
+  EXPECT_TRUE(bitwise_equal(exec.value(logit), eager_logit));
+  EXPECT_TRUE(bitwise_equal(exec.value(loss), eager_loss));
+  exec.backward(loss);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_TRUE(bitwise_equal(params[i]->grad, eager_grads[i]))
+        << "parameter " << i << " of " << model->name();
+  }
+
+  // Inference-mode executor on a loss-free recording (the deployment
+  // shape, where the logit is the program output): same logit bits,
+  // without any gradient state.
+  Tape itape;
+  const TensorId ilogit = model->forward_logit(itape, g);
+  Executor inf(itape.program(), ExecMode::kInference);
+  inf.forward();
+  EXPECT_TRUE(bitwise_equal(inf.value(ilogit), eager_logit));
+}
+
+std::string parity_case_name(
+    const ::testing::TestParamInfo<std::tuple<ClassifierKind, int>>& info) {
+  static const char* const names[] = {"NeuroSat", "Gin",
+                                      "NeuroSelectNoAttention", "NeuroSelect"};
+  return std::string(names[static_cast<int>(std::get<0>(info.param))]) +
+         "_t" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModelsAt1And8Threads, ExecutorParityTest,
+    ::testing::Combine(::testing::Values(ClassifierKind::kNeuroSat,
+                                         ClassifierKind::kGin,
+                                         ClassifierKind::kNeuroSelectNoAttention,
+                                         ClassifierKind::kNeuroSelect),
+                       ::testing::Values(1, 8)),
+    parity_case_name);
+
+TEST(ExecutorTest, RepeatedForwardIsBitwiseDeterministic) {
+  auto model = make_classifier(ClassifierKind::kNeuroSelect, 3);
+  const GraphBatch g = GraphBatch::build(gen::random_ksat(10, 32, 3, 5));
+  Tape tape;
+  const TensorId logit = model->forward_logit(tape, g);
+  Executor exec(tape.program(), ExecMode::kInference);
+  exec.forward();
+  const Matrix first = exec.value(logit);
+  exec.forward();
+  EXPECT_TRUE(bitwise_equal(exec.value(logit), first));
+}
+
+TEST(ExecutorTest, InferenceSessionMatchesPredictProbability) {
+  auto model = make_classifier(ClassifierKind::kNeuroSelectNoAttention, 9);
+  const GraphBatch g = GraphBatch::build(gen::random_ksat(9, 30, 3, 11));
+  InferenceSession session(*model, g);
+  const float p1 = session.predict_probability();
+  const float p2 = model->predict_probability(g);
+  EXPECT_EQ(p1, p2);
+  // Re-querying the session is stable too.
+  EXPECT_EQ(session.predict_probability(), p1);
+}
+
+// --- workspace planner ----------------------------------------------------
+
+TEST(ExecutorTest, InferencePlanReusesBuffersAcrossLiveRanges) {
+  auto model = make_classifier(ClassifierKind::kNeuroSelect, 21);
+  const GraphBatch g = GraphBatch::build(gen::random_ksat(12, 40, 3, 13));
+  Tape tape;
+  model->forward_logit(tape, g);
+
+  Executor inf(tape.program(), ExecMode::kInference);
+  Executor train(tape.program(), ExecMode::kTraining);
+  // Liveness planning must beat the one-buffer-per-node baseline by a wide
+  // margin on a real model graph, in both dimensions.
+  EXPECT_LT(inf.workspace_elements(), tape.program().total_value_elements());
+  EXPECT_LT(2 * inf.workspace_elements(),
+            tape.program().total_value_elements());
+  EXPECT_LT(inf.workspace_buffers(), train.workspace_buffers());
+}
+
+TEST(ExecutorTest, TrainingModeKeepsEveryValueReadable) {
+  // Training executors may not recycle: backward reads any forward value.
+  Parameter w(Matrix::ones(2, 2));
+  Tape tape;
+  const TensorId x = tape.param(&w);
+  const TensorId a = tape.relu(x);
+  const TensorId b = tape.scale(a, 3.0f);
+  const TensorId c = tape.mean_rows(b);
+  Executor exec(tape.program(), ExecMode::kTraining);
+  exec.forward();
+  EXPECT_FLOAT_EQ(exec.value(a).at(0, 0), 1.0f);  // intermediate still live
+  EXPECT_FLOAT_EQ(exec.value(b).at(1, 1), 3.0f);
+  EXPECT_FLOAT_EQ(exec.value(c).at(0, 0), 3.0f);
+}
+
+// --- inference-mode contract ---------------------------------------------
+
+TEST(ExecutorTest, InferenceBackwardThrows) {
+  Parameter w(Matrix::ones(1, 1));
+  Tape tape;
+  const TensorId loss = tape.scale(tape.param(&w), 2.0f);
+  Executor exec(tape.program(), ExecMode::kInference);
+  exec.forward();
+  EXPECT_THROW(exec.backward(loss), std::logic_error);
+}
+
+TEST(ExecutorTest, InferenceAllocatesNoGradientStorage) {
+  Parameter w(Matrix::ones(1, 1));
+  Tape tape;
+  const TensorId x = tape.param(&w);
+  const TensorId y = tape.scale(x, 2.0f);
+  Executor exec(tape.program(), ExecMode::kInference);
+  exec.forward();
+  EXPECT_FALSE(exec.has_grad(y));
+  EXPECT_THROW(exec.grad(y), std::logic_error);
+}
+
+TEST(ExecutorTest, ConstantsNeverGetGradientStorage) {
+  Parameter w(Matrix::ones(1, 1));
+  Tape tape;
+  const TensorId c = tape.constant(Matrix::ones(1, 1));
+  const TensorId x = tape.param(&w);
+  const TensorId loss = tape.hadamard(c, x);
+  Executor exec(tape.program(), ExecMode::kTraining);
+  exec.forward();
+  exec.backward(loss);
+  EXPECT_FALSE(exec.has_grad(c));
+  EXPECT_THROW(exec.grad(c), std::logic_error);
+  EXPECT_TRUE(exec.has_grad(x));
+  EXPECT_FLOAT_EQ(w.grad.at(0, 0), 1.0f);
+}
+
+TEST(ExecutorTest, InferenceValueOfRecycledIntermediateThrows) {
+  // In a long enough chain the planner recycles early buffers; reading one
+  // back must be a diagnosed error, not stale data.
+  Tape tape;
+  TensorId t = tape.constant(Matrix::ones(4, 4));
+  const TensorId first_compute = tape.relu(t);
+  t = first_compute;
+  for (int i = 0; i < 4; ++i) t = tape.relu(tape.scale(t, 1.5f));
+  Executor exec(tape.program(), ExecMode::kInference);
+  exec.forward();
+  EXPECT_NO_THROW(exec.value(t));  // final output is always live
+  EXPECT_THROW(exec.value(first_compute), std::logic_error);
+}
+
+// --- recording-time shape diagnostics ------------------------------------
+
+/// Expects `fn()` to throw std::invalid_argument whose message contains
+/// `needle` (the op name, so the diagnostic identifies the bad call).
+template <typename Fn>
+void expect_shape_error(Fn&& fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected std::invalid_argument mentioning '" << needle << "'";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "diagnostic was: " << e.what();
+  }
+}
+
+TEST(ProgramShapeTest, MatmulInnerDimensionMismatch) {
+  Tape tape;
+  const TensorId a = tape.constant(Matrix::ones(2, 3));
+  const TensorId b = tape.constant(Matrix::ones(2, 3));
+  expect_shape_error([&] { tape.matmul(a, b); }, "matmul");
+}
+
+TEST(ProgramShapeTest, ElementwiseShapeMismatch) {
+  Tape tape;
+  const TensorId a = tape.constant(Matrix::ones(2, 3));
+  const TensorId b = tape.constant(Matrix::ones(3, 2));
+  expect_shape_error([&] { tape.add(a, b); }, "add");
+  expect_shape_error([&] { tape.sub(a, b); }, "sub");
+  expect_shape_error([&] { tape.hadamard(a, b); }, "hadamard");
+}
+
+TEST(ProgramShapeTest, SpmmColumnMismatch) {
+  const SparseMatrix s =
+      SparseMatrix::from_coo(2, 3, {0}, {1}, {1.0f});  // needs 3-row operand
+  Tape tape;
+  const TensorId x = tape.constant(Matrix::ones(4, 2));
+  expect_shape_error([&] { tape.spmm(&s, x); }, "spmm");
+}
+
+TEST(ProgramShapeTest, BiasRowMustBeSingleRow) {
+  Tape tape;
+  const TensorId x = tape.constant(Matrix::ones(4, 3));
+  const TensorId b = tape.constant(Matrix::ones(2, 3));
+  expect_shape_error([&] { tape.add_row_broadcast(x, b); },
+                     "add_row_broadcast");
+}
+
+TEST(ProgramShapeTest, SliceOutOfRange) {
+  Tape tape;
+  const TensorId a = tape.constant(Matrix::ones(2, 5));
+  expect_shape_error([&] { tape.slice_cols(a, 3, 4); }, "slice_cols");
+}
+
+TEST(ProgramShapeTest, ConcatRowMismatch) {
+  Tape tape;
+  const TensorId a = tape.constant(Matrix::ones(2, 2));
+  const TensorId b = tape.constant(Matrix::ones(3, 2));
+  expect_shape_error([&] { tape.concat_cols(a, b); }, "concat_cols");
+}
+
+TEST(ProgramShapeTest, PermutationMustMatchRowsAndBeInRange) {
+  Tape tape;
+  const TensorId a = tape.constant(Matrix::ones(3, 2));
+  expect_shape_error([&] { tape.permute_rows(a, {0, 1}); }, "permute_rows");
+  expect_shape_error([&] { tape.permute_rows(a, {0, 1, 7}); },
+                     "permute_rows");
+}
+
+TEST(ProgramShapeTest, BceRequiresScalarLogit) {
+  Tape tape;
+  const TensorId a = tape.constant(Matrix::ones(2, 1));
+  expect_shape_error([&] { tape.bce_with_logits(a, 1.0f); },
+                     "bce_with_logits");
+}
+
+TEST(ProgramShapeTest, RowMulRequiresColumnVector) {
+  Tape tape;
+  const TensorId x = tape.constant(Matrix::ones(3, 2));
+  const TensorId s = tape.constant(Matrix::ones(3, 2));
+  expect_shape_error([&] { tape.row_mul(x, s); }, "row_mul");
+}
+
+TEST(ProgramShapeTest, InvalidOperandHandleIsDiagnosed) {
+  Tape tape;
+  expect_shape_error([&] { tape.relu(TensorId{5}); }, "TensorId 5");
+  expect_shape_error([&] { tape.relu(TensorId{-1}); }, "TensorId");
+}
+
+TEST(ProgramShapeTest, ValidRecordingsStillSucceed) {
+  // The validation layer must not reject well-formed graphs.
+  Tape tape;
+  const TensorId a = tape.constant(Matrix::ones(2, 3));
+  const TensorId b = tape.constant(Matrix::ones(3, 2));
+  const TensorId y = tape.matmul(a, b);
+  EXPECT_EQ(tape.rows(y), 2u);
+  EXPECT_EQ(tape.cols(y), 2u);
+  EXPECT_FLOAT_EQ(tape.value(y).at(0, 0), 3.0f);
+}
+
+}  // namespace
+}  // namespace ns::nn

@@ -26,12 +26,20 @@ TEST(TapeSemanticsTest, ParameterGradientsAccumulateAcrossTapes) {
   EXPECT_FLOAT_EQ(w.grad.at(0, 0), 6.0f);
 }
 
-TEST(TapeSemanticsTest, ParamNodeCopiesValueAtRecordTime) {
+TEST(TapeSemanticsTest, ParamNodeBindsLiveValue) {
+  // Parameter leaves bind live: each execution reads the value as it is at
+  // that moment, which is what makes one recorded program re-runnable
+  // across optimizer steps.
   Parameter w(Matrix::ones(1, 1));
   Tape tape;
   const TensorId x = tape.param(&w);
-  w.value.at(0, 0) = 42.0f;  // later mutation must not affect the tape
-  EXPECT_FLOAT_EQ(tape.value(x).at(0, 0), 1.0f);
+  const TensorId y = tape.scale(x, 2.0f);
+  Executor exec(tape.program(), ExecMode::kTraining);
+  exec.forward();
+  EXPECT_FLOAT_EQ(exec.value(y).at(0, 0), 2.0f);
+  w.value.at(0, 0) = 21.0f;  // "optimizer step"
+  exec.forward();            // same program, fresh inputs
+  EXPECT_FLOAT_EQ(exec.value(y).at(0, 0), 42.0f);
 }
 
 TEST(TapeSemanticsTest, ConstantsReceiveNoParameterGradient) {

@@ -98,6 +98,25 @@ TEST(ClauseDbTest, ForEachSkipsGarbage) {
   EXPECT_EQ(live, 2u);
 }
 
+TEST(ClauseDbTest, ConstAccessUsesReadOnlyViews) {
+  ClauseDb db;
+  const ClauseRef r = db.add(lits({1, -2, 3}), true, 4);
+  db.view(r).set_activity(0.5f);
+
+  const ClauseDb& cdb = db;
+  ConstClauseView c = cdb.view(r);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_TRUE(c.learned());
+  EXPECT_EQ(c.glue(), 4u);
+  EXPECT_FLOAT_EQ(c.activity(), 0.5f);
+  EXPECT_EQ(c.lit(1), Lit::from_dimacs(-2));
+  EXPECT_EQ(c.end() - c.begin(), 3);
+
+  std::size_t live = 0;
+  cdb.for_each([&](ClauseRef, ConstClauseView v) { live += v.size() > 0; });
+  EXPECT_EQ(live, 1u);
+}
+
 TEST(ClauseDbTest, ShrinkReducesSize) {
   ClauseDb db;
   ClauseView c = db.view(db.add(lits({1, 2, 3, 4}), true, 2));
