@@ -24,11 +24,12 @@ int main() {
   ns::solver::SolverOptions opts;
   opts.max_propagations = 2'000'000;
   ns::solver::Solver solver(opts);
+  ns::solver::PropagationHistogram hist(f.num_vars());
+  solver.set_listener(&hist);
   solver.load(f);
   const ns::solver::SolveOutcome out = solver.solve();
 
-  const std::vector<std::uint64_t>& freq =
-      solver.cumulative_propagation_counts();
+  const std::vector<std::uint64_t>& freq = hist.counts();
   std::uint64_t total = 0, fmax = 0;
   for (std::uint64_t c : freq) {
     total += c;

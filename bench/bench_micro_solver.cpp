@@ -6,6 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <string>
+
+#include "bench_common.hpp"
 #include "cnf/dimacs.hpp"
 #include "gen/generators.hpp"
 #include "solver/solver.hpp"
@@ -84,6 +88,61 @@ void BM_DimacsRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_DimacsRoundTrip)->Unit(benchmark::kMillisecond);
 
+// Checked-in BCP hot-path trajectory (BENCH_solver_hot_path.json): wall
+// time and tick throughput of full deterministic solves on three
+// propagation-bound instances. The "seed/" rows are the pre-refactor
+// engine (vector-of-vectors watchers, no binary specialization) measured
+// on this same suite; "flat_arena/" rows are re-measured on every run, so
+// the checked-in JSON tracks the hot path across PRs.
+void run_hot_path_trajectory() {
+  ns::bench::BenchJson json("solver_hot_path");
+  json.record("seed/xor_chain_2000_mticks_per_s", 1, 9.91);
+  json.record("seed/php_9_8_mticks_per_s", 1, 45.21);
+  json.record("seed/ksat_150_645_mticks_per_s", 1, 28.88);
+
+  struct Case {
+    const char* name;
+    ns::CnfFormula f;
+  };
+  const Case cases[] = {
+      {"xor_chain_2000", ns::gen::xor_chain(2000, false, 3)},
+      {"php_9_8", ns::gen::pigeonhole(9, 8)},
+      {"ksat_150_645", ns::gen::random_ksat(150, 645, 3, 4)},
+  };
+  std::printf("=== BCP hot path (deterministic solves, best of 3) ===\n");
+  for (const Case& c : cases) {
+    double best_ms = 1e300;
+    std::uint64_t ticks = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const ns::solver::SolveOutcome out =
+          ns::solver::solve_formula(c.f, ns::solver::SolverOptions{});
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      best_ms = std::min(best_ms, ms);
+      ticks = out.stats.ticks;
+    }
+    const double mticks_s = static_cast<double>(ticks) / (best_ms * 1000.0);
+    json.record(std::string("flat_arena/") + c.name + "_wall_ms", 1, best_ms);
+    json.record(std::string("flat_arena/") + c.name + "_mticks_per_s", 1,
+                mticks_s);
+    std::printf("%-16s %10.3f ms  %12llu ticks  %7.2f Mticks/s\n", c.name,
+                best_ms, static_cast<unsigned long long>(ticks), mticks_s);
+  }
+  if (!json.write()) {
+    std::fprintf(stderr, "failed to write BENCH_solver_hot_path.json\n");
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  run_hot_path_trajectory();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -26,6 +26,8 @@ int main(int argc, char** argv) {
     ns::solver::SolverOptions opts;
     opts.deletion_policy = kind;
     ns::solver::Solver solver(opts);
+    ns::solver::PropagationHistogram hist(f.num_vars());
+    solver.set_listener(&hist);
     solver.load(f);
     const ns::solver::SolveOutcome out = solver.solve();
     const bool is_freq = kind == ns::policy::PolicyKind::kFrequency;
@@ -39,8 +41,7 @@ int main(int argc, char** argv) {
 
     if (is_freq) {
       // Show the propagation skew (Fig. 3's observation).
-      std::vector<std::uint64_t> freq =
-          solver.cumulative_propagation_counts();
+      std::vector<std::uint64_t> freq = hist.counts();
       std::sort(freq.rbegin(), freq.rend());
       std::printf("\nhottest variables (propagations since start):");
       for (std::size_t i = 0; i < 8 && i < freq.size(); ++i) {

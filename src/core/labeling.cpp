@@ -17,11 +17,20 @@ LabeledInstance label_instance(gen::NamedInstance inst,
   const policy::PolicyKind kinds[2] = {policy::PolicyKind::kDefault,
                                        policy::PolicyKind::kFrequency};
   solver::SolveOutcome outcomes[2];
+  // Engine-hook consumer: the default-policy run optionally carries a
+  // propagation histogram (whole-run f_v counts). Listeners observe events
+  // without perturbing the search, so both runs stay budget-identical.
+  solver::PropagationHistogram histogram(
+      options.collect_histogram ? inst.formula.num_vars() : 0);
   runtime::parallel_for(2, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) {
       solver::SolverOptions run_options = solver_options;
       run_options.deletion_policy = kinds[i];
-      outcomes[i] = solver::solve_formula(inst.formula, run_options);
+      solver::EngineListener* listener =
+          (options.collect_histogram && kinds[i] == policy::PolicyKind::kDefault)
+              ? &histogram
+              : nullptr;
+      outcomes[i] = solver::solve_formula(inst.formula, run_options, listener);
     }
   });
   const solver::SolveOutcome& def = outcomes[0];
@@ -37,6 +46,8 @@ LabeledInstance label_instance(gen::NamedInstance inst,
   const double d = static_cast<double>(out.propagations_default);
   const double f = static_cast<double>(out.propagations_frequency);
   out.label = (d > 0.0 && (d - f) / d >= options.improvement_threshold) ? 1 : 0;
+
+  if (options.collect_histogram) out.propagation_histogram = histogram.counts();
 
   out.graph = nn::GraphBatch::build(inst.formula);
   out.instance = std::move(inst);

@@ -1,0 +1,56 @@
+#pragma once
+/// \file analyze.hpp
+/// The conflict-analysis subsystem: first-UIP learning with recursive
+/// clause minimization, plus the final-conflict analysis that extracts
+/// failed assumption cores. Owns all analysis scratch (seen marks,
+/// minimization stack, glue level stamps).
+///
+/// Invariant note: long clauses keep the propagation-time normalization
+/// "implied literal at index 0", so reason walks skip index 0. Binary
+/// clauses are propagated inline from the watch entry and never
+/// re-normalized, so their implied literal may sit at either index; every
+/// reason walk here resolves size-2 clauses by variable instead of by
+/// position.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cnf/types.hpp"
+#include "solver/context.hpp"
+#include "solver/decide.hpp"
+
+namespace ns::solver {
+
+class Analyzer {
+ public:
+  explicit Analyzer(SearchContext& ctx) : ctx_(ctx) {}
+
+  /// Re-initializes scratch for `num_vars` variables.
+  void reset(std::size_t num_vars);
+
+  /// Derives the 1-UIP clause from `conflict`, minimizes it, and computes
+  /// the backjump level and glue. `decider` receives activity bumps for
+  /// every variable touched. On return `learned[0]` is the asserting
+  /// literal and (for size >= 2) `learned[1]` the second watch.
+  void analyze(Decider& decider, ClauseRef conflict, std::vector<Lit>& learned,
+               std::uint32_t& backjump_level, std::uint32_t& glue);
+
+  /// Final-conflict analysis for assumption solving: collects the subset of
+  /// assumptions implying `failed` into `out` (the failed core).
+  void analyze_final(Lit failed, std::vector<Lit>& out);
+
+ private:
+  std::uint32_t compute_glue(const std::vector<Lit>& lits);
+  bool lit_redundant(Lit l, std::uint32_t abstract_levels);
+
+  SearchContext& ctx_;
+
+  std::vector<std::uint8_t> seen_;
+  std::vector<Lit> analyze_clear_;
+  std::vector<Lit> minimize_stack_;
+  std::vector<std::uint32_t> level_stamp_;
+  std::uint32_t level_stamp_time_ = 0;
+};
+
+}  // namespace ns::solver

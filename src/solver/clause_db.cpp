@@ -10,14 +10,17 @@ void ClauseDb::collect_garbage() {
   std::size_t off = 0;
   while (off < data_.size()) {
     const std::uint32_t size = data_[off];
-    const std::uint32_t words = kHeaderWords + size;
+    const std::uint32_t extent = data_[off + 1];
     const ClauseView c(data_.data() + off);
     if (!c.garbage()) {
       forwarding_[off] = static_cast<ClauseRef>(compacted.size());
+      // Copy header + live literals only; shrink slack dies here, so the
+      // surviving clause is stored tight (extent == size).
       compacted.insert(compacted.end(), data_.begin() + off,
-                       data_.begin() + off + words);
+                       data_.begin() + off + kHeaderWords + size);
+      compacted[forwarding_[off] + 1] = size;
     }
-    off += words;
+    off += kHeaderWords + extent;
   }
   data_ = std::move(compacted);
   garbage_words_ = 0;

@@ -5,15 +5,20 @@
 /// All clauses (original and learned) live contiguously in one
 /// std::vector<uint32_t>; a clause is addressed by its offset (`ClauseRef`).
 /// Layout per clause:
-///   word 0: size (number of literals)
-///   word 1: flags  — bit 0 learned, bit 1 garbage, bit 2 reason-protected,
+///   word 0: size (number of live literals)
+///   word 1: extent (allocated literal slots; >= size). The arena walk
+///           strides over `extent`, so shrinking a clause in place leaves
+///           traversal intact — the freed slack is reclaimed by the next
+///           `collect_garbage`.
+///   word 2: flags  — bit 0 learned, bit 1 garbage, bit 2 reason-protected,
 ///                    bit 3 used-since-last-reduce; glue (LBD) in bits 8..31
-///   word 2: activity (float, bit-cast)
-///   word 3..3+size-1: literal codes
+///   word 3: activity (float, bit-cast)
+///   word 4..4+size-1: literal codes (slots size..extent-1 are dead slack)
 ///
 /// Garbage collection is a compacting copy: callers first mark clauses
 /// garbage, then run `collect_garbage`, then remap every stored ClauseRef
-/// through the returned forwarding table.
+/// through the returned forwarding table. Compaction also squeezes out any
+/// shrink slack (copied clauses get extent == size).
 
 #include <bit>
 #include <cassert>
@@ -34,44 +39,42 @@ class ClauseView {
   ClauseView(std::uint32_t* base) : base_(base) {}
 
   std::uint32_t size() const { return base_[0]; }
+  std::uint32_t extent() const { return base_[1]; }
 
-  bool learned() const { return (base_[1] & kLearnedBit) != 0; }
-  bool garbage() const { return (base_[1] & kGarbageBit) != 0; }
-  bool protected_reason() const { return (base_[1] & kProtectedBit) != 0; }
-  bool used() const { return (base_[1] & kUsedBit) != 0; }
+  bool learned() const { return (base_[2] & kLearnedBit) != 0; }
+  bool garbage() const { return (base_[2] & kGarbageBit) != 0; }
+  bool protected_reason() const { return (base_[2] & kProtectedBit) != 0; }
+  bool used() const { return (base_[2] & kUsedBit) != 0; }
 
   void set_garbage(bool on) { set_flag(kGarbageBit, on); }
   void set_protected_reason(bool on) { set_flag(kProtectedBit, on); }
   void set_used(bool on) { set_flag(kUsedBit, on); }
 
-  std::uint32_t glue() const { return base_[1] >> kGlueShift; }
+  std::uint32_t glue() const { return base_[2] >> kGlueShift; }
   void set_glue(std::uint32_t g) {
-    base_[1] = (base_[1] & kFlagMask) | (g << kGlueShift);
+    base_[2] = (base_[2] & kFlagMask) | (g << kGlueShift);
   }
 
-  float activity() const { return std::bit_cast<float>(base_[2]); }
-  void set_activity(float a) { base_[2] = std::bit_cast<std::uint32_t>(a); }
+  float activity() const { return std::bit_cast<float>(base_[3]); }
+  void set_activity(float a) { base_[3] = std::bit_cast<std::uint32_t>(a); }
 
   Lit lit(std::uint32_t i) const {
     assert(i < size());
-    return Lit::from_code(base_[3 + i]);
+    return Lit::from_code(base_[kHeaderWords + i]);
   }
   void set_lit(std::uint32_t i, Lit l) {
     assert(i < size());
-    base_[3 + i] = l.code();
+    base_[kHeaderWords + i] = l.code();
   }
 
-  /// Shrinks the clause in place (used by in-processing / strengthening).
-  void shrink(std::uint32_t new_size) {
-    assert(new_size <= size());
-    base_[0] = new_size;
-  }
-
-  Lit* begin() { return reinterpret_cast<Lit*>(base_ + 3); }
+  Lit* begin() { return reinterpret_cast<Lit*>(base_ + kHeaderWords); }
   Lit* end() { return begin() + size(); }
-  const Lit* begin() const { return reinterpret_cast<const Lit*>(base_ + 3); }
+  const Lit* begin() const {
+    return reinterpret_cast<const Lit*>(base_ + kHeaderWords);
+  }
   const Lit* end() const { return begin() + size(); }
 
+  static constexpr std::uint32_t kHeaderWords = 4;
   static constexpr std::uint32_t kLearnedBit = 1u << 0;
   static constexpr std::uint32_t kGarbageBit = 1u << 1;
   static constexpr std::uint32_t kProtectedBit = 1u << 2;
@@ -80,11 +83,13 @@ class ClauseView {
   static constexpr unsigned kGlueShift = 8;
 
  private:
+  friend class ClauseDb;
+
   void set_flag(std::uint32_t bit, bool on) {
     if (on)
-      base_[1] |= bit;
+      base_[2] |= bit;
     else
-      base_[1] &= ~bit;
+      base_[2] &= ~bit;
   }
 
   std::uint32_t* base_;
@@ -99,23 +104,26 @@ class ConstClauseView {
   explicit ConstClauseView(const std::uint32_t* base) : base_(base) {}
 
   std::uint32_t size() const { return base_[0]; }
+  std::uint32_t extent() const { return base_[1]; }
 
-  bool learned() const { return (base_[1] & ClauseView::kLearnedBit) != 0; }
-  bool garbage() const { return (base_[1] & ClauseView::kGarbageBit) != 0; }
+  bool learned() const { return (base_[2] & ClauseView::kLearnedBit) != 0; }
+  bool garbage() const { return (base_[2] & ClauseView::kGarbageBit) != 0; }
   bool protected_reason() const {
-    return (base_[1] & ClauseView::kProtectedBit) != 0;
+    return (base_[2] & ClauseView::kProtectedBit) != 0;
   }
-  bool used() const { return (base_[1] & ClauseView::kUsedBit) != 0; }
+  bool used() const { return (base_[2] & ClauseView::kUsedBit) != 0; }
 
-  std::uint32_t glue() const { return base_[1] >> ClauseView::kGlueShift; }
-  float activity() const { return std::bit_cast<float>(base_[2]); }
+  std::uint32_t glue() const { return base_[2] >> ClauseView::kGlueShift; }
+  float activity() const { return std::bit_cast<float>(base_[3]); }
 
   Lit lit(std::uint32_t i) const {
     assert(i < size());
-    return Lit::from_code(base_[3 + i]);
+    return Lit::from_code(base_[ClauseView::kHeaderWords + i]);
   }
 
-  const Lit* begin() const { return reinterpret_cast<const Lit*>(base_ + 3); }
+  const Lit* begin() const {
+    return reinterpret_cast<const Lit*>(base_ + ClauseView::kHeaderWords);
+  }
   const Lit* end() const { return begin() + size(); }
 
  private:
@@ -125,13 +133,18 @@ class ConstClauseView {
 /// The arena itself.
 class ClauseDb {
  public:
-  static constexpr std::uint32_t kHeaderWords = 3;
+  static constexpr std::uint32_t kHeaderWords = ClauseView::kHeaderWords;
 
   /// Appends a clause; returns its reference.
   ClauseRef add(const std::vector<Lit>& lits, bool learned,
                 std::uint32_t glue) {
     const ClauseRef ref = static_cast<ClauseRef>(data_.size());
+    // Watch entries tag binary clauses in the high bit of a ClauseRef, so
+    // the arena must stay below 2^31 words.
+    assert(data_.size() + kHeaderWords + lits.size() <
+           (std::size_t{1} << 31));
     data_.push_back(static_cast<std::uint32_t>(lits.size()));
+    data_.push_back(static_cast<std::uint32_t>(lits.size()));  // extent
     data_.push_back((learned ? ClauseView::kLearnedBit : 0u) |
                     (glue << ClauseView::kGlueShift));
     data_.push_back(std::bit_cast<std::uint32_t>(0.0f));
@@ -145,9 +158,25 @@ class ClauseDb {
     assert(ref + kHeaderWords <= data_.size());
     return ClauseView(data_.data() + ref);
   }
+
+  /// Raw arena base for the BCP inner loop: `ClauseView(raw() + ref)`
+  /// without re-deriving the vector data pointer per clause access. Only
+  /// valid while no clause is added (BCP never allocates).
+  std::uint32_t* raw() { return data_.data(); }
   ConstClauseView view(ClauseRef ref) const {
     assert(ref + kHeaderWords <= data_.size());
     return ConstClauseView(data_.data() + ref);
+  }
+
+  /// Shrinks a clause in place (in-processing / strengthening). The clause
+  /// keeps its allocated extent, so `for_each` still strides correctly over
+  /// the arena; the freed words are accounted as garbage and reclaimed by
+  /// the next `collect_garbage`.
+  void shrink(ClauseRef ref, std::uint32_t new_size) {
+    ClauseView c = view(ref);
+    assert(new_size <= c.size());
+    garbage_words_ += c.size() - new_size;
+    c.base_[0] = new_size;
   }
 
   /// Marks a clause garbage (idempotent). Does not free memory.
@@ -157,6 +186,7 @@ class ClauseDb {
     c.set_garbage(true);
     if (c.learned()) --num_learned_;
     --num_clauses_;
+    // The clause's shrink slack (extent - size) is already accounted.
     garbage_words_ += kHeaderWords + c.size();
   }
 
@@ -170,10 +200,10 @@ class ClauseDb {
   void for_each(Fn&& fn) {
     std::size_t off = 0;
     while (off < data_.size()) {
-      const std::uint32_t size = data_[off];
+      const std::uint32_t extent = data_[off + 1];
       ClauseView c(data_.data() + off);
       if (!c.garbage()) fn(static_cast<ClauseRef>(off), c);
-      off += kHeaderWords + size;
+      off += kHeaderWords + extent;
     }
   }
 
@@ -182,17 +212,17 @@ class ClauseDb {
   void for_each(Fn&& fn) const {
     std::size_t off = 0;
     while (off < data_.size()) {
-      const std::uint32_t size = data_[off];
+      const std::uint32_t extent = data_[off + 1];
       ConstClauseView c(data_.data() + off);
       if (!c.garbage()) fn(static_cast<ClauseRef>(off), c);
-      off += kHeaderWords + size;
+      off += kHeaderWords + extent;
     }
   }
 
-  /// Compacts the arena, dropping garbage clauses. Returns a forwarding
-  /// function usable to remap old references; references to garbage clauses
-  /// map to kInvalidClause. The forwarding table is valid until the next
-  /// mutation of the database.
+  /// Compacts the arena, dropping garbage clauses and shrink slack. Returns
+  /// a forwarding function usable to remap old references; references to
+  /// garbage clauses map to kInvalidClause. The forwarding table is valid
+  /// until the next mutation of the database.
   void collect_garbage();
 
   /// Remaps an old reference after collect_garbage().

@@ -1,0 +1,87 @@
+#pragma once
+/// \file context.hpp
+/// The narrow shared state the search subsystems are wired through. Each
+/// subsystem (Propagator, Analyzer, Decider, RestartScheduler,
+/// ReduceScheduler) owns its private machinery and reaches everything
+/// shared — options, clause arena, trail, counters, hooks — exclusively
+/// via this context, so the data any two subsystems can possibly couple
+/// over is spelled out in one place.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "solver/clause_db.hpp"
+#include "solver/hooks.hpp"
+#include "solver/options.hpp"
+#include "solver/proof.hpp"
+#include "solver/stats.hpp"
+#include "solver/trail.hpp"
+
+namespace ns::solver {
+
+struct SearchContext {
+  const SolverOptions* options = nullptr;  ///< bound once by the Solver
+  ClauseDb db;
+  Trail trail;
+  Statistics stats;
+
+  /// Live learned-clause references, in learning order (remapped after GC).
+  std::vector<ClauseRef> learned;
+  float cla_inc = 1.0f;  ///< clause-activity bump amount
+
+  /// Per-variable propagation counters since the last reduction — the f_v
+  /// window of paper Eq. 2. Incremented by enqueue, consumed by the reduce
+  /// policy, zeroed by the ReduceScheduler.
+  std::vector<std::uint64_t> freq;
+
+  EngineListener* listener = nullptr;
+  ProofTracer* proof = nullptr;
+
+  std::size_t num_vars = 0;
+  bool inconsistent = false;  ///< empty clause seen at load / level 0
+
+  void reset(std::size_t n) {
+    num_vars = n;
+    inconsistent = false;
+    db = ClauseDb{};
+    trail.reset(n);
+    stats = Statistics{};
+    learned.clear();
+    cla_inc = 1.0f;
+    freq.assign(n, 0);
+  }
+
+  LBool value(Lit l) const { return trail.value(l); }
+
+  /// Records the assignment making `l` true, with all bookkeeping: trail
+  /// push, propagation/frequency counters, and the assignment hook.
+  void enqueue(Lit l, ClauseRef reason) {
+    const std::uint32_t lvl = trail.decision_level();
+    trail.assign(l, reason);
+    const bool propagated = reason != kInvalidClause || lvl == 0;
+    if (propagated) {
+      // Assignment produced by BCP (or a root-level unit): this variable
+      // "triggered propagation" in the sense of paper Eq. 2.
+      ++stats.propagations;
+      ++freq[l.var()];
+    }
+    stats.max_trail = std::max<std::uint64_t>(stats.max_trail, trail.size());
+    if (listener != nullptr) listener->on_assignment(l, lvl, propagated);
+  }
+
+  /// Bumps a learned clause's activity, rescaling all learned activities
+  /// when the bump amount overflows the float range.
+  void bump_clause(ClauseView c) {
+    c.set_activity(c.activity() + cla_inc);
+    if (c.activity() > 1e20f) {
+      for (ClauseRef ref : learned) {
+        ClauseView lc = db.view(ref);
+        lc.set_activity(lc.activity() * 1e-20f);
+      }
+      cla_inc *= 1e-20f;
+    }
+  }
+};
+
+}  // namespace ns::solver

@@ -1,0 +1,39 @@
+#pragma once
+/// \file propagate.hpp
+/// The propagation subsystem: two-watched-literal BCP with blocking
+/// literals over a flat CSR watcher arena (see watch.hpp), with binary
+/// clauses resolved inline from the watch entry — no clause-arena access
+/// on the binary hot path.
+
+#include "solver/context.hpp"
+#include "solver/watch.hpp"
+
+namespace ns::solver {
+
+class Propagator {
+ public:
+  explicit Propagator(SearchContext& ctx) : ctx_(ctx) {}
+
+  /// Re-initializes the watch lists for `num_vars` variables.
+  void reset(std::size_t num_vars) { watches_.reset(2 * num_vars); }
+
+  /// Adds a clause (size >= 2) to the watch lists.
+  void attach(ClauseRef ref);
+
+  /// Rebuilds every watch list from the live clauses in the arena
+  /// (after clause-DB garbage collection moved clauses around).
+  void rebuild();
+
+  /// Propagates all queued assignments to fixpoint. Returns the
+  /// conflicting clause, or kInvalidClause when none.
+  ClauseRef propagate();
+
+  /// Watcher storage introspection (tests, benches).
+  const WatcherArena& watches() const { return watches_; }
+
+ private:
+  SearchContext& ctx_;
+  WatcherArena watches_;
+};
+
+}  // namespace ns::solver

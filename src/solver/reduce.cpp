@@ -1,0 +1,130 @@
+#include "solver/reduce.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <span>
+#include <vector>
+
+namespace ns::solver {
+
+void ReduceScheduler::reset() {
+  if (policy_ == nullptr) {
+    const SolverOptions& opt = *ctx_.options;
+    policy_ = opt.deletion_policy == policy::PolicyKind::kFrequency
+                  ? std::make_unique<policy::FrequencyPolicy>(
+                        opt.frequency_alpha)
+                  : policy::make_policy(opt.deletion_policy);
+  }
+  next_reduce_conflicts_ = ctx_.options->reduce_interval;
+}
+
+void ReduceScheduler::reduce(Propagator& propagator) {
+  Statistics& stats = ctx_.stats;
+  const SolverOptions& opt = *ctx_.options;
+  ClauseDb& db = ctx_.db;
+  const Trail& trail = ctx_.trail;
+  ++stats.reductions;
+
+  // Eq. 2 inputs: f_max over the per-variable counters since last reduce.
+  std::uint64_t f_max = 0;
+  const bool track_freq = policy_->needs_frequency();
+  if (track_freq) {
+    for (std::uint64_t f : ctx_.freq) f_max = std::max(f_max, f);
+  }
+  const double alpha = policy_->frequency_alpha();
+  const double threshold = alpha * static_cast<double>(f_max);
+
+  struct Candidate {
+    ClauseRef ref;
+    std::uint64_t score;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(ctx_.learned.size());
+
+  for (ClauseRef ref : ctx_.learned) {
+    ++stats.reduce_ticks;
+    ClauseView c = db.view(ref);
+    if (c.glue() <= opt.keep_glue) continue;  // core tier, never deleted
+    // A clause that is the reason of a current assignment must survive.
+    // Binary clauses are not re-normalized by propagation, so their
+    // implied literal may sit at either index; check both.
+    const Lit first = c.lit(0);
+    bool is_reason =
+        ctx_.value(first) == LBool::kTrue && trail.reason(first.var()) == ref;
+    if (!is_reason && c.size() == 2) {
+      const Lit second = c.lit(1);
+      is_reason = ctx_.value(second) == LBool::kTrue &&
+                  trail.reason(second.var()) == ref;
+    }
+    if (is_reason) continue;
+    if (c.used()) {
+      // Recently involved in conflict analysis: one round of grace.
+      c.set_used(false);
+      continue;
+    }
+    policy::ClauseFeatures feat;
+    feat.glue = c.glue();
+    feat.size = c.size();
+    if (track_freq) {
+      std::uint32_t hot = 0;
+      for (const Lit l : c) {
+        if (f_max > 0 &&
+            static_cast<double>(ctx_.freq[l.var()]) > threshold) {
+          ++hot;
+        }
+      }
+      feat.frequency = hot;
+    }
+    candidates.push_back(Candidate{ref, policy_->retention_score(feat)});
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.score != b.score) return a.score < b.score;
+              return a.ref < b.ref;  // deterministic tie-break
+            });
+  const std::size_t to_delete = static_cast<std::size_t>(
+      opt.reduce_fraction * static_cast<double>(candidates.size()));
+  for (std::size_t i = 0; i < to_delete; ++i) {
+    if (ctx_.proof != nullptr) {
+      ClauseView c = db.view(candidates[i].ref);
+      ctx_.proof->on_delete(std::span<const Lit>(c.begin(), c.end()));
+    }
+    db.mark_garbage(candidates[i].ref);
+    ++stats.deleted_clauses;
+  }
+
+  db.collect_garbage();
+
+  // Remap references held outside the arena: reasons and the learned list.
+  for (std::size_t i = 0; i < trail.size(); ++i) {
+    const Var v = trail[i].var();
+    const ClauseRef r = trail.reason(v);
+    if (r != kInvalidClause) {
+      const ClauseRef fwd = db.forward(r);
+      assert(fwd != kInvalidClause);
+      ctx_.trail.set_reason(v, fwd);
+    }
+  }
+  std::vector<ClauseRef> live;
+  live.reserve(ctx_.learned.size());
+  for (ClauseRef ref : ctx_.learned) {
+    const ClauseRef fwd = db.forward(ref);
+    if (fwd != kInvalidClause) live.push_back(fwd);
+  }
+  ctx_.learned = std::move(live);
+  propagator.rebuild();
+
+  // Restart the Eq. 2 window. (The whole-run histogram, when anyone wants
+  // it, is accumulated by a PropagationHistogram listener instead.)
+  std::fill(ctx_.freq.begin(), ctx_.freq.end(), 0);
+
+  next_reduce_conflicts_ = stats.conflicts + opt.reduce_interval +
+                           stats.reductions * opt.reduce_interval_inc;
+
+  if (ctx_.listener != nullptr) {
+    ctx_.listener->on_reduce(stats.reductions, to_delete, ctx_.learned.size());
+  }
+}
+
+}  // namespace ns::solver

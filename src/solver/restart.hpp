@@ -1,0 +1,76 @@
+#pragma once
+/// \file restart.hpp
+/// The restart subsystem: decides when the search unwinds to the root.
+/// Owns the Luby sequence position and the fast/slow glue EMAs of the
+/// Glucose-style adaptive scheme; the solver reports each conflict's glue
+/// and each executed restart, and asks `should_restart` between decisions.
+
+#include <cstdint>
+
+#include "solver/context.hpp"
+#include "solver/luby.hpp"
+
+namespace ns::solver {
+
+class RestartScheduler {
+ public:
+  explicit RestartScheduler(SearchContext& ctx) : ctx_(ctx) {}
+
+  /// Re-initializes schedule state (solver reload).
+  void reset() {
+    ema_fast_ = 0.0;
+    ema_slow_ = 0.0;
+    conflicts_at_restart_ = 0;
+    luby_count_ = 0;
+    next_restart_conflicts_ =
+        ctx_.options->restart_mode == RestartMode::kLuby
+            ? luby(1) * ctx_.options->restart_interval
+            : ctx_.options->restart_interval;
+  }
+
+  /// Folds one learned clause's glue into the Glucose EMAs.
+  void on_conflict(std::uint32_t glue) {
+    ema_fast_ += ctx_.options->ema_fast_alpha * (glue - ema_fast_);
+    ema_slow_ += ctx_.options->ema_slow_alpha * (glue - ema_slow_);
+  }
+
+  bool should_restart() const {
+    switch (ctx_.options->restart_mode) {
+      case RestartMode::kNone:
+        return false;
+      case RestartMode::kLuby:
+        return ctx_.stats.conflicts >= next_restart_conflicts_;
+      case RestartMode::kGlucoseEma: {
+        if (ctx_.stats.conflicts - conflicts_at_restart_ <
+            ctx_.options->restart_interval) {
+          return false;
+        }
+        if (ctx_.stats.conflicts < 128) return false;  // EMA warm-up
+        return ema_fast_ > ctx_.options->restart_margin * ema_slow_;
+      }
+    }
+    return false;
+  }
+
+  /// Advances the schedule after the solver executed a restart.
+  void on_restart() {
+    conflicts_at_restart_ = ctx_.stats.conflicts;
+    if (ctx_.options->restart_mode == RestartMode::kLuby) {
+      ++luby_count_;
+      next_restart_conflicts_ =
+          ctx_.stats.conflicts +
+          luby(luby_count_ + 1) * ctx_.options->restart_interval;
+    }
+  }
+
+ private:
+  SearchContext& ctx_;
+
+  double ema_fast_ = 0.0;
+  double ema_slow_ = 0.0;
+  std::uint64_t conflicts_at_restart_ = 0;
+  std::uint64_t luby_count_ = 0;
+  std::uint64_t next_restart_conflicts_ = 0;
+};
+
+}  // namespace ns::solver

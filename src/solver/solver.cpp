@@ -3,114 +3,30 @@
 #include <algorithm>
 #include <cassert>
 
-#include "solver/luby.hpp"
 #include "solver/simplify.hpp"
 
 namespace ns::solver {
 
 Solver::Solver(SolverOptions options)
     : options_(options),
-      policy_(options.deletion_policy == policy::PolicyKind::kFrequency
-                  ? std::make_unique<policy::FrequencyPolicy>(
-                        options.frequency_alpha)
-                  : policy::make_policy(options.deletion_policy)),
-      heap_(activity_),
-      rng_(options.seed) {}
+      propagator_(ctx_),
+      analyzer_(ctx_),
+      decider_(ctx_),
+      restarts_(ctx_),
+      reducer_(ctx_) {
+  ctx_.options = &options_;
+}
 
 Solver::~Solver() = default;
 
 void Solver::reset(std::size_t num_vars) {
-  num_vars_ = num_vars;
-  inconsistent_ = false;
-  stats_ = Statistics{};
-  db_ = ClauseDb{};
-  learned_refs_.clear();
-  watches_.assign(2 * num_vars, {});
-  values_.assign(num_vars, LBool::kUndef);
-  level_.assign(num_vars, 0);
-  reason_.assign(num_vars, kInvalidClause);
-  trail_.clear();
-  trail_.reserve(num_vars);
-  trail_lim_.clear();
-  qhead_ = 0;
-  activity_.assign(num_vars, 0.0);
-  var_inc_ = 1.0;
-  heap_.clear();
-  for (Var v = 0; v < num_vars; ++v) heap_.insert(v);
-  phase_.assign(num_vars, 0);
-  seen_.assign(num_vars, 0);
-  analyze_clear_.clear();
-  level_stamp_.assign(num_vars + 1, 0);
-  level_stamp_time_ = 0;
-  cla_inc_ = 1.0f;
-  ema_fast_ = 0.0;
-  ema_slow_ = 0.0;
-  conflicts_at_restart_ = 0;
-  restart_count_for_luby_ = 0;
-  next_restart_conflicts_ =
-      options_.restart_mode == RestartMode::kLuby
-          ? luby(1) * options_.restart_interval
-          : options_.restart_interval;
-  next_reduce_conflicts_ = options_.reduce_interval;
-  freq_.assign(num_vars, 0);
-  cumulative_freq_.assign(num_vars, 0);
-  vmtf_init();
-}
-
-void Solver::vmtf_init() {
-  vmtf_prev_.assign(num_vars_, kNoVar);
-  vmtf_next_.assign(num_vars_, kNoVar);
-  vmtf_stamp_.assign(num_vars_, 0);
-  vmtf_time_ = 0;
-  vmtf_front_ = kNoVar;
-  vmtf_search_ = kNoVar;
-  if (num_vars_ == 0) return;
-  // Build the queue with variable 0 at the back and n-1 at the front; the
-  // front is the "most recently used" end.
-  for (Var v = 0; v < num_vars_; ++v) {
-    vmtf_stamp_[v] = ++vmtf_time_;
-    if (vmtf_front_ != kNoVar) {
-      vmtf_prev_[vmtf_front_] = v;
-      vmtf_next_[v] = vmtf_front_;
-    }
-    vmtf_front_ = v;
-  }
-  vmtf_search_ = vmtf_front_;
-}
-
-void Solver::vmtf_move_to_front(Var v) {
-  if (vmtf_front_ == v) {
-    vmtf_stamp_[v] = ++vmtf_time_;
-    return;
-  }
-  // Unlink.
-  const Var p = vmtf_prev_[v];
-  const Var n = vmtf_next_[v];
-  if (p != kNoVar) vmtf_next_[p] = n;
-  if (n != kNoVar) vmtf_prev_[n] = p;
-  if (vmtf_search_ == v) vmtf_search_ = (p != kNoVar) ? p : vmtf_front_;
-  // Relink at front.
-  vmtf_prev_[v] = kNoVar;
-  vmtf_next_[v] = vmtf_front_;
-  vmtf_prev_[vmtf_front_] = v;
-  vmtf_front_ = v;
-  vmtf_stamp_[v] = ++vmtf_time_;
-  if (values_[v] == LBool::kUndef) vmtf_search_ = v;
-}
-
-Var Solver::vmtf_pick() {
-  Var v = vmtf_search_;
-  while (v != kNoVar && values_[v] != LBool::kUndef) v = vmtf_next_[v];
-  assert(v != kNoVar);
-  vmtf_search_ = v;
-  return v;
-}
-
-void Solver::attach_clause(ClauseRef ref) {
-  ClauseView c = db_.view(ref);
-  assert(c.size() >= 2);
-  watches_[c.lit(0).code()].push_back(Watch{ref, c.lit(1)});
-  watches_[c.lit(1).code()].push_back(Watch{ref, c.lit(0)});
+  ctx_.reset(num_vars);
+  propagator_.reset(num_vars);
+  analyzer_.reset(num_vars);
+  decider_.reset(num_vars);
+  restarts_.reset();
+  reducer_.reset();
+  failed_assumptions_.clear();
 }
 
 bool Solver::add_input_clause(const Clause& clause) {
@@ -119,27 +35,27 @@ bool Solver::add_input_clause(const Clause& clause) {
   std::vector<Lit> lits;
   lits.reserve(clause.size());
   for (Lit l : clause) {
-    const LBool v = value(l);
+    const LBool v = ctx_.value(l);
     if (v == LBool::kTrue) return true;  // satisfied at root
     if (v == LBool::kUndef) lits.push_back(l);
   }
   if (lits.empty()) {
-    inconsistent_ = true;
+    ctx_.inconsistent = true;
     return false;
   }
   if (lits.size() == 1) {
-    enqueue(lits[0], kInvalidClause);
+    ctx_.enqueue(lits[0], kInvalidClause);
     return true;
   }
-  const ClauseRef ref = db_.add(lits, /*learned=*/false, /*glue=*/0);
-  attach_clause(ref);
+  const ClauseRef ref = ctx_.db.add(lits, /*learned=*/false, /*glue=*/0);
+  propagator_.attach(ref);
   return true;
 }
 
 void Solver::load(const CnfFormula& formula) {
   reset(formula.num_vars());
   if (formula.has_empty_clause()) {
-    inconsistent_ = true;
+    ctx_.inconsistent = true;
     return;
   }
   if (options_.preprocess) {
@@ -149,13 +65,13 @@ void Solver::load(const CnfFormula& formula) {
     simplify_options.pure_literals = false;
     const SimplifyResult pre = simplify(formula, simplify_options);
     if (!pre.consistent) {
-      inconsistent_ = true;
+      ctx_.inconsistent = true;
       return;
     }
     // Replay the fixed assignments as root units, then the reduced clauses.
-    for (Var v = 0; v < num_vars_; ++v) {
+    for (Var v = 0; v < ctx_.num_vars; ++v) {
       if (pre.fixed[v] != LBool::kUndef) {
-        enqueue(Lit(v, pre.fixed[v] == LBool::kFalse), kInvalidClause);
+        ctx_.enqueue(Lit(v, pre.fixed[v] == LBool::kFalse), kInvalidClause);
       }
     }
     for (const Clause& c : pre.formula.clauses()) {
@@ -168,497 +84,94 @@ void Solver::load(const CnfFormula& formula) {
   }
 }
 
-void Solver::enqueue(Lit l, ClauseRef reason) {
-  const Var v = l.var();
-  assert(values_[v] == LBool::kUndef);
-  values_[v] = to_lbool(!l.negated());
-  level_[v] = decision_level();
-  reason_[v] = reason;
-  trail_.push_back(l);
-  if (reason != kInvalidClause || decision_level() == 0) {
-    // Assignment produced by BCP (or a root-level unit): this variable
-    // "triggered propagation" in the sense of paper Eq. 2.
-    ++stats_.propagations;
-    ++freq_[v];
-  }
-  stats_.max_trail = std::max<std::uint64_t>(stats_.max_trail, trail_.size());
-}
-
-ClauseRef Solver::propagate() {
-  while (qhead_ < trail_.size()) {
-    const Lit p = trail_[qhead_++];   // p just became true
-    const Lit false_lit = ~p;         // clauses watching ~p are affected
-    std::vector<Watch>& ws = watches_[false_lit.code()];
-    std::size_t i = 0, j = 0;
-    ClauseRef conflict = kInvalidClause;
-    while (i < ws.size()) {
-      ++stats_.ticks;
-      const Watch w = ws[i++];
-      if (value(w.blocker) == LBool::kTrue) {
-        ws[j++] = w;
-        continue;
-      }
-      ClauseView c = db_.view(w.ref);
-      // Normalize so the false watched literal sits at index 1.
-      if (c.lit(0) == false_lit) {
-        c.set_lit(0, c.lit(1));
-        c.set_lit(1, false_lit);
-      }
-      const Lit first = c.lit(0);
-      if (first != w.blocker && value(first) == LBool::kTrue) {
-        ws[j++] = Watch{w.ref, first};
-        continue;
-      }
-      // Look for a replacement watch.
-      bool moved = false;
-      for (std::uint32_t k = 2; k < c.size(); ++k) {
-        const Lit alt = c.lit(k);
-        if (value(alt) != LBool::kFalse) {
-          c.set_lit(1, alt);
-          c.set_lit(k, false_lit);
-          watches_[alt.code()].push_back(Watch{w.ref, first});
-          moved = true;
-          break;
-        }
-      }
-      if (moved) continue;
-      // Clause is unit or conflicting on `first`.
-      if (value(first) == LBool::kFalse) {
-        conflict = w.ref;
-        // Keep this watch, copy the unexamined tail, and bail out.
-        ws[j++] = Watch{w.ref, first};
-        while (i < ws.size()) ws[j++] = ws[i++];
-        break;
-      }
-      ws[j++] = Watch{w.ref, first};
-      enqueue(first, w.ref);
-    }
-    ws.resize(j);
-    if (conflict != kInvalidClause) return conflict;
-  }
-  return kInvalidClause;
-}
-
-void Solver::bump_var(Var v) {
-  if (options_.decision_mode == DecisionMode::kVmtf) {
-    vmtf_move_to_front(v);
-    return;
-  }
-  activity_[v] += var_inc_;
-  if (activity_[v] > 1e100) {
-    for (double& a : activity_) a *= 1e-100;
-    var_inc_ *= 1e-100;
-  }
-  heap_.increased(v);
-}
-
-void Solver::decay_var_activities() {
-  if (options_.decision_mode == DecisionMode::kVmtf) return;
-  var_inc_ /= options_.var_decay;
-}
-
-void Solver::bump_clause(ClauseView c) {
-  c.set_activity(c.activity() + cla_inc_);
-  if (c.activity() > 1e20f) {
-    for (ClauseRef ref : learned_refs_) {
-      ClauseView lc = db_.view(ref);
-      lc.set_activity(lc.activity() * 1e-20f);
-    }
-    cla_inc_ *= 1e-20f;
-  }
-}
-
-std::uint32_t Solver::compute_glue(const std::vector<Lit>& lits) {
-  ++level_stamp_time_;
-  std::uint32_t glue = 0;
-  for (Lit l : lits) {
-    const std::uint32_t lv = level_[l.var()];
-    if (level_stamp_[lv] != level_stamp_time_) {
-      level_stamp_[lv] = level_stamp_time_;
-      ++glue;
-    }
-  }
-  return glue;
-}
-
-bool Solver::lit_redundant(Lit l, std::uint32_t abstract_levels) {
-  minimize_stack_.clear();
-  minimize_stack_.push_back(l);
-  const std::size_t top = analyze_clear_.size();
-  while (!minimize_stack_.empty()) {
-    const Lit x = minimize_stack_.back();
-    minimize_stack_.pop_back();
-    assert(reason_[x.var()] != kInvalidClause);
-    ClauseView c = db_.view(reason_[x.var()]);
-    for (std::uint32_t k = 1; k < c.size(); ++k) {
-      const Lit q = c.lit(k);
-      const Var v = q.var();
-      if (seen_[v] || level_[v] == 0) continue;
-      const bool expandable =
-          reason_[v] != kInvalidClause &&
-          ((1u << (level_[v] & 31)) & abstract_levels) != 0;
-      if (!expandable) {
-        for (std::size_t t = top; t < analyze_clear_.size(); ++t) {
-          seen_[analyze_clear_[t].var()] = 0;
-        }
-        analyze_clear_.resize(top);
-        return false;
-      }
-      seen_[v] = 1;
-      minimize_stack_.push_back(q);
-      analyze_clear_.push_back(q);
-    }
-  }
-  return true;
-}
-
-void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learned,
-                     std::uint32_t& backjump_level, std::uint32_t& glue) {
-  learned.clear();
-  learned.push_back(Lit::undef());  // slot for the asserting (UIP) literal
-  analyze_clear_.clear();
-
-  std::uint32_t path_count = 0;
-  Lit p = Lit::undef();
-  std::size_t index = trail_.size();
-  ClauseRef cr = conflict;
-
-  do {
-    ClauseView c = db_.view(cr);
-    if (c.learned()) {
-      bump_clause(c);
-      c.set_used(true);
-      // Glucose-style dynamic LBD refresh: keep the smallest observed glue.
-      std::vector<Lit> lits(c.begin(), c.end());
-      const std::uint32_t fresh = compute_glue(lits);
-      if (fresh < c.glue()) c.set_glue(fresh);
-    }
-    for (std::uint32_t j = p.is_defined() ? 1 : 0; j < c.size(); ++j) {
-      const Lit q = c.lit(j);
-      const Var v = q.var();
-      if (seen_[v] || level_[v] == 0) continue;
-      seen_[v] = 1;
-      bump_var(v);
-      if (level_[v] >= decision_level()) {
-        ++path_count;
-      } else {
-        learned.push_back(q);
-        analyze_clear_.push_back(q);
-      }
-    }
-    // Walk the trail backwards to the next marked literal.
-    while (!seen_[trail_[index - 1].var()]) --index;
-    p = trail_[--index];
-    cr = reason_[p.var()];
-    seen_[p.var()] = 0;
-    --path_count;
-  } while (path_count > 0);
-  learned[0] = ~p;
-
-  // Recursive (deep) minimization of the non-UIP literals.
-  std::uint32_t abstract_levels = 0;
-  for (std::size_t i = 1; i < learned.size(); ++i) {
-    abstract_levels |= 1u << (level_[learned[i].var()] & 31);
-  }
-  const std::size_t before = learned.size();
-  std::size_t out = 1;
-  for (std::size_t i = 1; i < learned.size(); ++i) {
-    const Lit l = learned[i];
-    if (reason_[l.var()] == kInvalidClause ||
-        !lit_redundant(l, abstract_levels)) {
-      learned[out++] = l;
-    }
-  }
-  learned.resize(out);
-  stats_.minimized_literals += before - learned.size();
-
-  // Determine backjump level and place the second watch.
-  if (learned.size() == 1) {
-    backjump_level = 0;
-  } else {
-    std::size_t max_i = 1;
-    for (std::size_t i = 2; i < learned.size(); ++i) {
-      if (level_[learned[i].var()] > level_[learned[max_i].var()]) max_i = i;
-    }
-    std::swap(learned[1], learned[max_i]);
-    backjump_level = level_[learned[1].var()];
-  }
-  glue = compute_glue(learned);
-
-  for (Lit l : analyze_clear_) seen_[l.var()] = 0;
-  analyze_clear_.clear();
-}
-
 void Solver::backtrack(std::uint32_t target_level) {
-  if (decision_level() <= target_level) return;
-  const std::size_t keep = trail_lim_[target_level];
-  for (std::size_t i = trail_.size(); i-- > keep;) {
-    const Var v = trail_[i].var();
-    phase_[v] = values_[v] == LBool::kTrue ? 1 : 0;
-    values_[v] = LBool::kUndef;
-    reason_[v] = kInvalidClause;
-    if (options_.decision_mode == DecisionMode::kVmtf) {
-      if (vmtf_stamp_[v] > vmtf_stamp_[vmtf_search_]) vmtf_search_ = v;
-    } else {
-      heap_.insert(v);
-    }
-  }
-  trail_.resize(keep);
-  trail_lim_.resize(target_level);
-  qhead_ = keep;
-}
-
-Lit Solver::pick_branch_literal() {
-  Var v = kNoVar;
-  if (options_.random_decision_freq > 0.0) {
-    std::uniform_real_distribution<double> coin(0.0, 1.0);
-    if (coin(rng_) < options_.random_decision_freq) {
-      std::uniform_int_distribution<Var> pick(0,
-                                              static_cast<Var>(num_vars_ - 1));
-      for (int tries = 0; tries < 16 && v == kNoVar; ++tries) {
-        const Var cand = pick(rng_);
-        if (values_[cand] == LBool::kUndef) v = cand;
-      }
-    }
-  }
-  if (v == kNoVar) {
-    if (options_.decision_mode == DecisionMode::kVmtf) {
-      v = vmtf_pick();
-    } else {
-      while (true) {
-        assert(!heap_.empty());
-        v = heap_.pop();
-        if (values_[v] == LBool::kUndef) break;
-      }
-    }
-  }
-  return Lit(v, phase_[v] == 0);  // saved phase; initial phase = false
-}
-
-bool Solver::should_restart() const {
-  switch (options_.restart_mode) {
-    case RestartMode::kNone:
-      return false;
-    case RestartMode::kLuby:
-      return stats_.conflicts >= next_restart_conflicts_;
-    case RestartMode::kGlucoseEma: {
-      if (stats_.conflicts - conflicts_at_restart_ < options_.restart_interval)
-        return false;
-      if (stats_.conflicts < 128) return false;  // EMA warm-up
-      return ema_fast_ > options_.restart_margin * ema_slow_;
-    }
-  }
-  return false;
-}
-
-void Solver::restart() {
-  ++stats_.restarts;
-  backtrack(0);
-  conflicts_at_restart_ = stats_.conflicts;
-  if (options_.restart_mode == RestartMode::kLuby) {
-    ++restart_count_for_luby_;
-    next_restart_conflicts_ =
-        stats_.conflicts +
-        luby(restart_count_for_luby_ + 1) * options_.restart_interval;
-  }
-}
-
-void Solver::rebuild_watches() {
-  for (std::vector<Watch>& ws : watches_) ws.clear();
-  db_.for_each([this](ClauseRef ref, ClauseView c) {
-    (void)c;
-    attach_clause(ref);
+  ctx_.trail.shrink_to_level(target_level, [this](Lit l, LBool erased) {
+    decider_.on_unassign(l.var(), erased);
   });
 }
 
-void Solver::reduce_clause_db() {
-  ++stats_.reductions;
-
-  // Eq. 2 inputs: f_max over the per-variable counters since last reduce.
-  std::uint64_t f_max = 0;
-  const bool track_freq = policy_->needs_frequency();
-  if (track_freq) {
-    for (std::uint64_t f : freq_) f_max = std::max(f_max, f);
-  }
-  const double alpha = policy_->frequency_alpha();
-  const double threshold = alpha * static_cast<double>(f_max);
-
-  struct Candidate {
-    ClauseRef ref;
-    std::uint64_t score;
-  };
-  std::vector<Candidate> candidates;
-  candidates.reserve(learned_refs_.size());
-
-  for (ClauseRef ref : learned_refs_) {
-    ClauseView c = db_.view(ref);
-    if (c.glue() <= options_.keep_glue) continue;  // core tier, never deleted
-    // A clause that is the reason of a current assignment must survive.
-    const Lit first = c.lit(0);
-    if (value(first) == LBool::kTrue && reason_[first.var()] == ref) continue;
-    if (c.used()) {
-      // Recently involved in conflict analysis: one round of grace.
-      c.set_used(false);
-      continue;
-    }
-    policy::ClauseFeatures feat;
-    feat.glue = c.glue();
-    feat.size = c.size();
-    if (track_freq) {
-      std::uint32_t hot = 0;
-      for (const Lit l : c) {
-        if (f_max > 0 &&
-            static_cast<double>(freq_[l.var()]) > threshold) {
-          ++hot;
-        }
-      }
-      feat.frequency = hot;
-    }
-    candidates.push_back(Candidate{ref, policy_->retention_score(feat)});
-  }
-
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& a, const Candidate& b) {
-              if (a.score != b.score) return a.score < b.score;
-              return a.ref < b.ref;  // deterministic tie-break
-            });
-  const std::size_t to_delete = static_cast<std::size_t>(
-      options_.reduce_fraction * static_cast<double>(candidates.size()));
-  for (std::size_t i = 0; i < to_delete; ++i) {
-    if (proof_ != nullptr) {
-      ClauseView c = db_.view(candidates[i].ref);
-      proof_->on_delete(std::span<const Lit>(c.begin(), c.end()));
-    }
-    db_.mark_garbage(candidates[i].ref);
-    ++stats_.deleted_clauses;
-  }
-
-  db_.collect_garbage();
-
-  // Remap references held outside the arena: reasons and the learned list.
-  for (const Lit l : trail_) {
-    ClauseRef& r = reason_[l.var()];
-    if (r != kInvalidClause) {
-      r = db_.forward(r);
-      assert(r != kInvalidClause);
-    }
-  }
-  std::vector<ClauseRef> live;
-  live.reserve(learned_refs_.size());
-  for (ClauseRef ref : learned_refs_) {
-    const ClauseRef fwd = db_.forward(ref);
-    if (fwd != kInvalidClause) live.push_back(fwd);
-  }
-  learned_refs_ = std::move(live);
-  rebuild_watches();
-
-  // Fold the window counters into the whole-run histogram and restart the
-  // Eq. 2 window.
-  for (std::size_t v = 0; v < num_vars_; ++v) {
-    cumulative_freq_[v] += freq_[v];
-    freq_[v] = 0;
-  }
-
-  next_reduce_conflicts_ = stats_.conflicts + options_.reduce_interval +
-                           stats_.reductions * options_.reduce_interval_inc;
-}
-
 Model Solver::extract_model() const {
-  Model m(num_vars_, false);
-  for (std::size_t v = 0; v < num_vars_; ++v) {
-    m[v] = values_[v] == LBool::kTrue;
+  Model m(ctx_.num_vars, false);
+  for (Var v = 0; v < ctx_.num_vars; ++v) {
+    m[v] = ctx_.trail.value(v) == LBool::kTrue;
   }
   return m;
-}
-
-void Solver::analyze_final(Lit failed) {
-  failed_assumptions_.clear();
-  failed_assumptions_.push_back(failed);
-  if (decision_level() == 0) return;
-  seen_[failed.var()] = 1;
-  for (std::size_t i = trail_.size(); i-- > trail_lim_[0];) {
-    const Var v = trail_[i].var();
-    if (!seen_[v]) continue;
-    if (reason_[v] == kInvalidClause) {
-      // A decision in the assumption prefix: part of the failed core.
-      failed_assumptions_.push_back(trail_[i]);
-    } else {
-      ClauseView c = db_.view(reason_[v]);
-      for (std::uint32_t k = 1; k < c.size(); ++k) {
-        const Var u = c.lit(k).var();
-        if (level_[u] > 0) seen_[u] = 1;
-      }
-    }
-    seen_[v] = 0;
-  }
-  seen_[failed.var()] = 0;
 }
 
 SolveOutcome Solver::solve() { return solve_with_assumptions({}); }
 
 SolveOutcome Solver::solve_with_assumptions(
     std::span<const Lit> assumptions) {
+  Trail& trail = ctx_.trail;
+  Statistics& stats = ctx_.stats;
+
   SolveOutcome out;
   failed_assumptions_.clear();
-  backtrack(0);  // allow repeated incremental calls
-  qhead_ = 0;    // re-propagate root units against any newly learned clauses
-  if (inconsistent_) {
+  backtrack(0);     // allow repeated incremental calls
+  trail.qhead = 0;  // re-propagate root units against any newly learned
+  if (ctx_.inconsistent) {
     // Root-level contradiction found while loading: the empty clause is
     // derivable by unit propagation over the input alone.
-    if (proof_ != nullptr) proof_->on_add({});
+    if (ctx_.proof != nullptr) ctx_.proof->on_add({});
     out.result = SatResult::kUnsat;
-    out.stats = stats_;
+    out.stats = stats;
     return out;
   }
 
   std::vector<Lit> learned;
   while (true) {
-    const ClauseRef conflict = propagate();
+    const ClauseRef conflict = propagator_.propagate();
     if (conflict != kInvalidClause) {
-      ++stats_.conflicts;
-      if (decision_level() == 0) {
-        if (proof_ != nullptr) proof_->on_add({});
+      ++stats.conflicts;
+      if (trail.decision_level() == 0) {
+        if (ctx_.proof != nullptr) ctx_.proof->on_add({});
         out.result = SatResult::kUnsat;
         break;
       }
+      const std::uint32_t conflict_level = trail.decision_level();
       std::uint32_t backjump_level = 0;
       std::uint32_t glue = 0;
-      analyze(conflict, learned, backjump_level, glue);
-      if (proof_ != nullptr) {
-        proof_->on_add(std::span<const Lit>(learned.data(), learned.size()));
+      analyzer_.analyze(decider_, conflict, learned, backjump_level, glue);
+      if (ctx_.proof != nullptr) {
+        ctx_.proof->on_add(std::span<const Lit>(learned.data(),
+                                                learned.size()));
       }
       backtrack(backjump_level);
 
       if (learned.size() == 1) {
-        enqueue(learned[0], kInvalidClause);
+        ctx_.enqueue(learned[0], kInvalidClause);
       } else {
-        const ClauseRef ref = db_.add(learned, /*learned=*/true, glue);
-        learned_refs_.push_back(ref);
-        attach_clause(ref);
-        ClauseView c = db_.view(ref);
-        bump_clause(c);
+        const ClauseRef ref = ctx_.db.add(learned, /*learned=*/true, glue);
+        ctx_.learned.push_back(ref);
+        propagator_.attach(ref);
+        ClauseView c = ctx_.db.view(ref);
+        ctx_.bump_clause(c);
         c.set_used(true);
-        enqueue(learned[0], ref);
+        ctx_.enqueue(learned[0], ref);
       }
-      ++stats_.learned_clauses;
-      stats_.learned_literals += learned.size();
+      ++stats.learned_clauses;
+      stats.learned_literals += learned.size();
 
-      decay_var_activities();
-      cla_inc_ *= 1.001f;
+      decider_.decay();
+      ctx_.cla_inc *= 1.001f;
 
       // Restart bookkeeping (Glucose EMAs over learned-clause glue).
-      ema_fast_ += options_.ema_fast_alpha * (glue - ema_fast_);
-      ema_slow_ += options_.ema_slow_alpha * (glue - ema_slow_);
+      restarts_.on_conflict(glue);
+      if (ctx_.listener != nullptr) {
+        ctx_.listener->on_conflict(
+            stats.conflicts, conflict_level,
+            std::span<const Lit>(learned.data(), learned.size()), glue);
+      }
 
-      if (stats_.conflicts >= next_reduce_conflicts_) reduce_clause_db();
+      if (reducer_.should_reduce()) reducer_.reduce(propagator_);
 
       if (options_.max_conflicts != 0 &&
-          stats_.conflicts >= options_.max_conflicts) {
+          stats.conflicts >= options_.max_conflicts) {
         out.result = SatResult::kUnknown;
         break;
       }
       if (options_.max_propagations != 0 &&
-          stats_.propagations >= options_.max_propagations) {
+          stats.propagations >= options_.max_propagations) {
         out.result = SatResult::kUnknown;
         break;
       }
@@ -666,13 +179,13 @@ SolveOutcome Solver::solve_with_assumptions(
       // Assert pending assumptions first (each on its own decision level).
       Lit next = Lit::undef();
       bool assumption_failure = false;
-      while (decision_level() < assumptions.size()) {
-        const Lit a = assumptions[decision_level()];
-        const LBool v = value(a);
+      while (trail.decision_level() < assumptions.size()) {
+        const Lit a = assumptions[trail.decision_level()];
+        const LBool v = ctx_.value(a);
         if (v == LBool::kTrue) {
-          trail_lim_.push_back(trail_.size());  // dummy level, already true
+          trail.push_level();  // dummy level, already true
         } else if (v == LBool::kFalse) {
-          analyze_final(a);
+          analyzer_.analyze_final(a, failed_assumptions_);
           out.result = SatResult::kUnsat;
           assumption_failure = true;
           break;
@@ -684,41 +197,49 @@ SolveOutcome Solver::solve_with_assumptions(
       if (assumption_failure) break;
 
       if (!next.is_defined()) {
-        if (trail_.size() == num_vars_) {
+        if (trail.size() == ctx_.num_vars) {
           out.result = SatResult::kSat;
           out.model = extract_model();
           break;
         }
         if (options_.max_propagations != 0 &&
-            stats_.propagations >= options_.max_propagations) {
+            stats.propagations >= options_.max_propagations) {
           out.result = SatResult::kUnknown;
           break;
         }
-        if (should_restart()) {
-          restart();
+        if (restarts_.should_restart()) {
+          ++stats.restarts;
+          backtrack(0);
+          restarts_.on_restart();
+          if (ctx_.listener != nullptr) {
+            ctx_.listener->on_restart(stats.restarts, stats.conflicts);
+          }
           continue;
         }
-        next = pick_branch_literal();
+        next = decider_.pick();
       }
-      ++stats_.decisions;
-      trail_lim_.push_back(trail_.size());
-      enqueue(next, kInvalidClause);
+      ++stats.decisions;
+      trail.push_level();
+      ctx_.enqueue(next, kInvalidClause);
     }
   }
 
-  // Fold the open frequency window into the cumulative histogram so Fig. 3
-  // reflects the whole run.
-  for (std::size_t v = 0; v < num_vars_; ++v) {
-    cumulative_freq_[v] += freq_[v];
-    freq_[v] = 0;
-  }
-  out.stats = stats_;
+  // Close the open Eq. 2 window; whole-run histograms live in listeners.
+  std::fill(ctx_.freq.begin(), ctx_.freq.end(), 0);
+  out.stats = stats;
   return out;
 }
 
 SolveOutcome solve_formula(const CnfFormula& formula,
                            const SolverOptions& options) {
+  return solve_formula(formula, options, nullptr);
+}
+
+SolveOutcome solve_formula(const CnfFormula& formula,
+                           const SolverOptions& options,
+                           EngineListener* listener) {
   Solver s(options);
+  s.set_listener(listener);  // before load: root units also emit events
   s.load(formula);
   return s.solve();
 }

@@ -1,11 +1,22 @@
 #pragma once
 /// \file solver.hpp
 /// A conflict-driven clause-learning (CDCL) SAT solver in the Kissat
-/// lineage. This is the substrate the paper's contribution plugs into: the
-/// clause-database reduction step is driven by a pluggable
-/// `policy::DeletionPolicy`, and the solver maintains the per-variable
-/// propagation-frequency counters required by the frequency-guided policy
-/// (paper Sec. 3).
+/// lineage, decomposed into layered search subsystems wired through one
+/// narrow `SearchContext`:
+///
+///   Trail            values/levels/reasons + the assignment stack
+///   Propagator       two-watched-literal BCP over a flat watcher arena,
+///                    binary clauses resolved inline from the watch entry
+///   Analyzer         first-UIP learning + recursive clause minimization
+///   Decider          EVSIDS heap / VMTF queue, phase saving, random picks
+///   RestartScheduler Luby and Glucose-EMA restart policies
+///   ReduceScheduler  pluggable deletion policy + arena GC (paper Sec. 3)
+///
+/// The Solver class itself is only the orchestration loop: it owns the
+/// context and the subsystems, sequences propagate → analyze → backtrack →
+/// learn → decide, and exposes the public solve API. Engine events are
+/// published through an optional `EngineListener` (see hooks.hpp) at zero
+/// cost when unused.
 ///
 /// Feature set: two-watched-literal BCP with blocking literals, first-UIP
 /// conflict analysis with recursive clause minimization, EVSIDS and VMTF
@@ -15,17 +26,20 @@
 /// for wall-clock timeouts.
 
 #include <cstdint>
-#include <memory>
-#include <random>
+#include <span>
 #include <vector>
 
 #include "cnf/formula.hpp"
 #include "cnf/types.hpp"
-#include "policy/deletion_policy.hpp"
-#include "solver/clause_db.hpp"
-#include "solver/heap.hpp"
+#include "solver/analyze.hpp"
+#include "solver/context.hpp"
+#include "solver/decide.hpp"
+#include "solver/hooks.hpp"
 #include "solver/options.hpp"
 #include "solver/proof.hpp"
+#include "solver/propagate.hpp"
+#include "solver/reduce.hpp"
+#include "solver/restart.hpp"
 #include "solver/stats.hpp"
 
 namespace ns::solver {
@@ -40,7 +54,7 @@ struct SolveOutcome {
   Statistics stats;   ///< counters for the run
 };
 
-/// The CDCL solver.
+/// The CDCL solver: orchestrates the search subsystems.
 ///
 /// Usage: construct with options, `load` a formula, `solve`. A Solver is
 /// single-use per load; loading a new formula resets all state.
@@ -72,132 +86,46 @@ class Solver {
   }
 
   /// Counters of the last (or in-progress) run.
-  const Statistics& stats() const { return stats_; }
-
-  /// Per-variable propagation counts accumulated over the whole run
-  /// (the data behind paper Fig. 3).
-  const std::vector<std::uint64_t>& cumulative_propagation_counts() const {
-    return cumulative_freq_;
-  }
+  const Statistics& stats() const { return ctx_.stats; }
 
   /// Per-variable propagation counts since the last clause-DB reduction
-  /// (the f_v of Eq. 2).
+  /// (the f_v of Eq. 2). Whole-run histograms are collected by attaching a
+  /// `PropagationHistogram` listener instead.
   const std::vector<std::uint64_t>& propagation_counts_since_reduce() const {
-    return freq_;
+    return ctx_.freq;
   }
 
   /// Number of live learned clauses (for tests/benches).
-  std::size_t num_learned_clauses() const { return db_.num_learned(); }
+  std::size_t num_learned_clauses() const { return ctx_.db.num_learned(); }
 
   const SolverOptions& options() const { return options_; }
 
   /// Attaches a DRAT proof tracer (or nullptr to disable). The tracer must
   /// outlive the solve() call; learned-clause additions, reductions, and the
   /// final empty clause of an UNSAT answer are reported to it.
-  void set_proof_tracer(ProofTracer* tracer) { proof_ = tracer; }
+  void set_proof_tracer(ProofTracer* tracer) { ctx_.proof = tracer; }
+
+  /// Attaches an engine event listener (or nullptr to detach). The listener
+  /// must outlive the solve() call; see hooks.hpp for the event set.
+  void set_listener(EngineListener* listener) { ctx_.listener = listener; }
+
+  /// Propagation subsystem introspection (tests, benches).
+  const Propagator& propagator() const { return propagator_; }
 
  private:
-  struct Watch {
-    ClauseRef ref;
-    Lit blocker;  ///< some other literal of the clause; fast satisfied check
-  };
-
-  // --- state queries ---------------------------------------------------
-  LBool value(Lit l) const {
-    const LBool v = values_[l.var()];
-    if (v == LBool::kUndef) return LBool::kUndef;
-    return l.negated() ? negate(v) : v;
-  }
-  std::uint32_t level(Var v) const { return level_[v]; }
-  std::uint32_t decision_level() const {
-    return static_cast<std::uint32_t>(trail_lim_.size());
-  }
-
-  // --- core engine -------------------------------------------------------
   void reset(std::size_t num_vars);
-  void attach_clause(ClauseRef ref);
   bool add_input_clause(const Clause& clause);
-  void enqueue(Lit l, ClauseRef reason);
-  ClauseRef propagate();  ///< returns conflicting clause or kInvalidClause
-  void analyze(ClauseRef conflict, std::vector<Lit>& learned,
-               std::uint32_t& backjump_level, std::uint32_t& glue);
-  void analyze_final(Lit failed);  ///< fills failed_assumptions_
-  bool lit_redundant(Lit l, std::uint32_t abstract_levels);
-  std::uint32_t compute_glue(const std::vector<Lit>& lits);
   void backtrack(std::uint32_t target_level);
-  Lit pick_branch_literal();
-  void bump_var(Var v);
-  void decay_var_activities();
-  void bump_clause(ClauseView c);
-  bool should_restart() const;
-  void restart();
-  void reduce_clause_db();
-  void rebuild_watches();
   Model extract_model() const;
 
-  // --- VMTF queue --------------------------------------------------------
-  void vmtf_init();
-  void vmtf_move_to_front(Var v);
-  Var vmtf_pick();
-
-  // --- data -----------------------------------------------------------
   SolverOptions options_;
-  std::unique_ptr<policy::DeletionPolicy> policy_;
-  ProofTracer* proof_ = nullptr;
-  Statistics stats_;
+  SearchContext ctx_;
 
-  std::size_t num_vars_ = 0;
-  bool inconsistent_ = false;  ///< empty clause seen at load / level 0
-
-  ClauseDb db_;
-  std::vector<ClauseRef> learned_refs_;  ///< live learned clauses
-
-  std::vector<std::vector<Watch>> watches_;  ///< indexed by Lit::code()
-
-  std::vector<LBool> values_;       ///< per var
-  std::vector<std::uint32_t> level_;
-  std::vector<ClauseRef> reason_;
-  std::vector<Lit> trail_;
-  std::vector<std::size_t> trail_lim_;
-  std::size_t qhead_ = 0;
-
-  // decision heuristics
-  std::vector<double> activity_;
-  double var_inc_ = 1.0;
-  VarHeap heap_;
-  std::vector<std::uint8_t> phase_;  ///< saved phase: 1 = last value true
-  std::mt19937_64 rng_;
-
-  // VMTF
-  std::vector<Var> vmtf_prev_, vmtf_next_;
-  std::vector<std::uint64_t> vmtf_stamp_;
-  std::uint64_t vmtf_time_ = 0;
-  Var vmtf_front_ = kNoVar;
-  Var vmtf_search_ = kNoVar;
-
-  // conflict analysis scratch
-  std::vector<std::uint8_t> seen_;
-  std::vector<Lit> analyze_clear_;
-  std::vector<Lit> minimize_stack_;
-  std::vector<std::uint32_t> level_stamp_;
-  std::uint32_t level_stamp_time_ = 0;
-
-  // clause activity
-  float cla_inc_ = 1.0f;
-
-  // restart scheduling
-  double ema_fast_ = 0.0;
-  double ema_slow_ = 0.0;
-  std::uint64_t conflicts_at_restart_ = 0;
-  std::uint64_t restart_count_for_luby_ = 0;
-  std::uint64_t next_restart_conflicts_ = 0;
-
-  // reduce scheduling
-  std::uint64_t next_reduce_conflicts_ = 0;
-
-  // propagation-frequency tracking (paper Sec. 3)
-  std::vector<std::uint64_t> freq_;
-  std::vector<std::uint64_t> cumulative_freq_;
+  Propagator propagator_;
+  Analyzer analyzer_;
+  Decider decider_;
+  RestartScheduler restarts_;
+  ReduceScheduler reducer_;
 
   // incremental solving
   std::vector<Lit> failed_assumptions_;
@@ -206,5 +134,12 @@ class Solver {
 /// Convenience: solve `formula` with `options`, returning the outcome.
 SolveOutcome solve_formula(const CnfFormula& formula,
                            const SolverOptions& options = {});
+
+/// As above, with an engine listener attached for the whole run (set before
+/// load, so root-level units emit events too). Listeners observe without
+/// perturbing the search trajectory.
+SolveOutcome solve_formula(const CnfFormula& formula,
+                           const SolverOptions& options,
+                           EngineListener* listener);
 
 }  // namespace ns::solver

@@ -23,6 +23,25 @@ struct Statistics {
   std::uint64_t minimized_literals = 0;  ///< removed by clause minimization
   std::uint64_t max_trail = 0;
 
+  // --- binary-vs-long propagation split ---------------------------------
+  // Watch visits and BCP enqueues broken down by clause class. The splits
+  // partition their parents exactly except for `propagations`: root-level
+  // unit assignments (input units, preprocessing, level-0 learned units)
+  // count toward `propagations` but come from no watch list.
+  std::uint64_t ticks_binary = 0;  ///< watch visits of inline binary entries
+  std::uint64_t ticks_long = 0;    ///< watch visits that dereference a clause
+  std::uint64_t propagations_binary = 0;  ///< enqueues from binary watches
+  std::uint64_t propagations_long = 0;    ///< enqueues from long clauses
+
+  // --- per-subsystem work counters --------------------------------------
+  // One counter per search subsystem, in the same "ticks" spirit: the
+  // dominant inner-loop step of that phase, so profiles of where a run
+  // spends its deterministic time can be read off the stats alone.
+  std::uint64_t analyze_ticks = 0;  ///< literals examined in 1-UIP analysis
+  std::uint64_t minimize_ticks = 0;  ///< reason literals examined minimizing
+  std::uint64_t decide_ticks = 0;   ///< heap pops + VMTF walk steps
+  std::uint64_t reduce_ticks = 0;   ///< learned clauses scored at reduce
+
   /// Deterministic pseudo-seconds: proportional to ticks. The constant is
   /// calibrated so typical suite instances land in a 0..5000 "second" range
   /// mirroring the paper's 5000 s timeout scale.

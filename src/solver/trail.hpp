@@ -1,0 +1,101 @@
+#pragma once
+/// \file trail.hpp
+/// The assignment trail: per-variable value/level/reason plus the stack of
+/// assignments in chronological order and the decision-level frames over
+/// it. This is the ground truth every other subsystem reads; only
+/// `SearchContext::enqueue` (assign) and the solver's backtrack path
+/// (shrink_to_level) mutate it.
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "cnf/types.hpp"
+#include "solver/clause_db.hpp"
+
+namespace ns::solver {
+
+class Trail {
+ public:
+  void reset(std::size_t num_vars) {
+    values_.assign(num_vars, LBool::kUndef);
+    level_.assign(num_vars, 0);
+    reason_.assign(num_vars, kInvalidClause);
+    trail_.clear();
+    trail_.reserve(num_vars);
+    lim_.clear();
+    qhead = 0;
+  }
+
+  // --- per-variable queries ---------------------------------------------
+  LBool value(Lit l) const {
+    const LBool v = values_[l.var()];
+    if (v == LBool::kUndef) return LBool::kUndef;
+    return l.negated() ? negate(v) : v;
+  }
+  LBool value(Var v) const { return values_[v]; }
+
+  /// Raw per-variable value array for the BCP inner loop. The array is
+  /// sized once at reset(), so the pointer stays valid across assignments;
+  /// caching it in a local spares the loop two dependent pointer loads per
+  /// lookup.
+  const LBool* values_data() const { return values_.data(); }
+  std::uint32_t level(Var v) const { return level_[v]; }
+  ClauseRef reason(Var v) const { return reason_[v]; }
+  void set_reason(Var v, ClauseRef r) { reason_[v] = r; }
+
+  // --- stack structure ---------------------------------------------------
+  std::uint32_t decision_level() const {
+    return static_cast<std::uint32_t>(lim_.size());
+  }
+  std::size_t size() const { return trail_.size(); }
+  Lit operator[](std::size_t i) const { return trail_[i]; }
+
+  /// First trail index of decision level `lvl + 1` (i.e. lim_[lvl]).
+  std::size_t level_begin(std::uint32_t lvl) const { return lim_[lvl]; }
+
+  /// Opens a new decision level at the current trail height.
+  void push_level() { lim_.push_back(trail_.size()); }
+
+  /// Records the assignment making `l` true at the current decision level.
+  void assign(Lit l, ClauseRef reason) {
+    const Var v = l.var();
+    assert(values_[v] == LBool::kUndef);
+    values_[v] = to_lbool(!l.negated());
+    level_[v] = decision_level();
+    reason_[v] = reason;
+    trail_.push_back(l);
+  }
+
+  /// Unwinds to `target_level`, invoking `on_unassign(Lit, LBool)` for each
+  /// popped assignment (most recent first; the LBool is the value being
+  /// erased, for phase saving) before clearing it. Resets qhead to the kept
+  /// prefix.
+  template <typename Fn>
+  void shrink_to_level(std::uint32_t target_level, Fn&& on_unassign) {
+    if (decision_level() <= target_level) return;
+    const std::size_t keep = lim_[target_level];
+    for (std::size_t i = trail_.size(); i-- > keep;) {
+      const Lit l = trail_[i];
+      const Var v = l.var();
+      on_unassign(l, values_[v]);
+      values_[v] = LBool::kUndef;
+      reason_[v] = kInvalidClause;
+    }
+    trail_.resize(keep);
+    lim_.resize(target_level);
+    qhead = keep;
+  }
+
+  /// Index of the next literal BCP has not yet propagated.
+  std::size_t qhead = 0;
+
+ private:
+  std::vector<LBool> values_;          ///< per var
+  std::vector<std::uint32_t> level_;   ///< per var
+  std::vector<ClauseRef> reason_;      ///< per var
+  std::vector<Lit> trail_;             ///< assignments, oldest first
+  std::vector<std::size_t> lim_;       ///< trail height at each decision
+};
+
+}  // namespace ns::solver

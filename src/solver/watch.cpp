@@ -1,0 +1,36 @@
+#include "solver/watch.hpp"
+
+namespace ns::solver {
+
+void WatcherArena::defrag() {
+  std::vector<Watch> compact;
+  compact.reserve(slab_.size() - dead_);
+  for (Head& h : heads_) {
+    const std::uint32_t begin = static_cast<std::uint32_t>(compact.size());
+    compact.insert(compact.end(), slab_.begin() + h.begin,
+                   slab_.begin() + h.begin + h.size);
+    // Leave ~50% head-room per block: compacting to cap == size would make
+    // the very next push relocate the block again, regenerating the holes
+    // just removed (defrag thrash — measurably slows BCP).
+    const std::uint32_t cap = h.size + h.size / 2 + 2;
+    compact.resize(begin + cap);
+    h.begin = begin;
+    h.cap = cap;
+  }
+  slab_ = std::move(compact);
+  dead_ = 0;
+}
+
+void WatcherArena::relocate(Head& h) {
+  const std::uint32_t new_cap = h.cap == 0 ? 4 : 2 * h.cap;
+  const std::uint32_t new_begin = static_cast<std::uint32_t>(slab_.size());
+  slab_.resize(slab_.size() + new_cap);
+  for (std::uint32_t i = 0; i < h.size; ++i) {
+    slab_[new_begin + i] = slab_[h.begin + i];
+  }
+  dead_ += h.cap;
+  h.begin = new_begin;
+  h.cap = new_cap;
+}
+
+}  // namespace ns::solver

@@ -1,0 +1,38 @@
+# End-to-end proof pipeline, run as a ctest step:
+#   gen_cnf <family args>  ->  neuroselect_solve --proof  ->  drat_check
+# The instance must come out UNSAT (exit 20) and the emitted DRAT proof
+# must verify (exit 0). Expected -D definitions: GEN_CNF, SOLVE, CHECK
+# (tool paths), FAMILY_ARGS (gen_cnf argv as a ;-list), WORKDIR, and
+# optionally SOLVE_FLAGS (extra solver argv as a ;-list).
+
+file(MAKE_DIRECTORY ${WORKDIR})
+
+execute_process(COMMAND ${GEN_CNF} ${FAMILY_ARGS}
+  OUTPUT_FILE ${WORKDIR}/instance.cnf
+  RESULT_VARIABLE gen_rc)
+if(NOT gen_rc EQUAL 0)
+  message(FATAL_ERROR "gen_cnf ${FAMILY_ARGS} failed (exit ${gen_rc})")
+endif()
+
+execute_process(COMMAND ${SOLVE} ${SOLVE_FLAGS}
+    --proof ${WORKDIR}/proof.drat
+    --stats-json ${WORKDIR}/stats.json
+    --quiet ${WORKDIR}/instance.cnf
+  OUTPUT_QUIET
+  RESULT_VARIABLE solve_rc)
+if(NOT solve_rc EQUAL 20)
+  message(FATAL_ERROR
+      "expected UNSAT (exit 20) from solver, got exit ${solve_rc}")
+endif()
+
+execute_process(COMMAND ${CHECK} ${WORKDIR}/instance.cnf ${WORKDIR}/proof.drat
+  OUTPUT_QUIET
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "drat_check rejected the proof (exit ${check_rc})")
+endif()
+
+file(READ ${WORKDIR}/stats.json stats_json)
+if(NOT stats_json MATCHES "\"result\": \"UNSAT\"")
+  message(FATAL_ERROR "--stats-json did not record an UNSAT result")
+endif()

@@ -139,10 +139,12 @@ TEST(SolverTest, HardInstanceExercisesRestartsAndReduction) {
 TEST(SolverTest, FrequencyCountersAccumulate) {
   Solver s{SolverOptions{}};
   const CnfFormula f = gen::random_ksat(40, 160, 3, 11);
+  PropagationHistogram hist(f.num_vars());
+  s.set_listener(&hist);
   s.load(f);
   const SolveOutcome r = s.solve();
   ASSERT_NE(r.result, SatResult::kUnknown);
-  const auto& cum = s.cumulative_propagation_counts();
+  const auto& cum = hist.counts();
   ASSERT_EQ(cum.size(), f.num_vars());
   std::uint64_t total = 0;
   for (std::uint64_t c : cum) total += c;

@@ -6,6 +6,7 @@
 
 #include "solver/clause_db.hpp"
 #include "solver/heap.hpp"
+#include "solver/watch.hpp"
 
 namespace ns::solver {
 namespace {
@@ -117,11 +118,129 @@ TEST(ClauseDbTest, ConstAccessUsesReadOnlyViews) {
   EXPECT_EQ(live, 1u);
 }
 
-TEST(ClauseDbTest, ShrinkReducesSize) {
+TEST(ClauseDbTest, ShrinkReducesSizeAndAccountsSlack) {
   ClauseDb db;
-  ClauseView c = db.view(db.add(lits({1, 2, 3, 4}), true, 2));
-  c.shrink(2);
+  const ClauseRef r = db.add(lits({1, 2, 3, 4}), true, 2);
+  EXPECT_EQ(db.garbage_words(), 0u);
+  db.shrink(r, 2);
+  ClauseView c = db.view(r);
   EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.extent(), 4u);  // allocation unchanged; slack is dead
+  EXPECT_EQ(db.garbage_words(), 2u);
+}
+
+TEST(ClauseDbTest, ForEachStridesOverShrunkClauses) {
+  // The footgun this guards against: shrink rewrites the size word, and a
+  // traversal keyed on size (instead of extent) would misalign on every
+  // clause placed after a shrunken one.
+  ClauseDb db;
+  const ClauseRef a = db.add(lits({1, 2, 3, 4, 5}), false, 0);
+  const ClauseRef b = db.add(lits({-1, -2, -3}), true, 2);
+  db.shrink(a, 2);
+  std::vector<ClauseRef> seen;
+  db.for_each([&](ClauseRef ref, ClauseView) { seen.push_back(ref); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], a);
+  EXPECT_EQ(seen[1], b);
+  EXPECT_EQ(db.view(b).lit(0), Lit::from_dimacs(-1));
+}
+
+TEST(ClauseDbTest, CollectGarbageSqueezesShrinkSlack) {
+  ClauseDb db;
+  const ClauseRef a = db.add(lits({1, 2, 3, 4, 5, 6}), false, 0);
+  const ClauseRef b = db.add(lits({-5, -6}), true, 3);
+  db.shrink(a, 3);
+  db.collect_garbage();
+  EXPECT_EQ(db.garbage_words(), 0u);
+  const ClauseRef a2 = db.forward(a);
+  const ClauseRef b2 = db.forward(b);
+  ASSERT_NE(a2, kInvalidClause);
+  ASSERT_NE(b2, kInvalidClause);
+  EXPECT_EQ(db.view(a2).size(), 3u);
+  EXPECT_EQ(db.view(a2).extent(), 3u);  // slack squeezed out
+  EXPECT_EQ(db.view(a2).lit(2), Lit::from_dimacs(3));
+  EXPECT_EQ(db.view(b2).lit(1), Lit::from_dimacs(-6));
+  // Arena is fully dense again: clause b starts right after clause a.
+  EXPECT_EQ(b2, a2 + ClauseDb::kHeaderWords + 3);
+}
+
+TEST(ClauseDbTest, MarkGarbageAfterShrinkCountsOnlyLiveWords) {
+  ClauseDb db;
+  const ClauseRef r = db.add(lits({1, 2, 3, 4}), true, 2);
+  db.shrink(r, 2);                    // 2 words of slack
+  db.mark_garbage(r);                 // header + 2 live literals
+  EXPECT_EQ(db.garbage_words(), 2u + ClauseDb::kHeaderWords + 2u);
+  db.collect_garbage();
+  EXPECT_EQ(db.arena_words(), 0u);
+  EXPECT_EQ(db.garbage_words(), 0u);
+}
+
+// --- WatcherArena ------------------------------------------------------------
+
+TEST(WatcherArenaTest, PushGetTruncateRoundTrip) {
+  WatcherArena arena;
+  arena.reset(4);
+  arena.push(1, Watch(8, Lit::from_dimacs(1), false));
+  arena.push(1, Watch(16, Lit::from_dimacs(-2), true));
+  arena.push(3, Watch(24, Lit::from_dimacs(2), false));
+  ASSERT_EQ(arena.size(1), 2u);
+  ASSERT_EQ(arena.size(3), 1u);
+  EXPECT_EQ(arena.get(1, 0).ref(), 8u);
+  EXPECT_FALSE(arena.get(1, 0).binary());
+  EXPECT_EQ(arena.get(1, 1).ref(), 16u);
+  EXPECT_TRUE(arena.get(1, 1).binary());
+  EXPECT_EQ(arena.get(1, 1).blocker, Lit::from_dimacs(-2));
+  arena.truncate(1, 1);
+  EXPECT_EQ(arena.size(1), 1u);
+  EXPECT_EQ(arena.get(3, 0).ref(), 24u);
+}
+
+TEST(WatcherArenaTest, RelocationPreservesOrderAndLeavesHoles) {
+  WatcherArena arena;
+  arena.reset(2);
+  // Interleave pushes so both lists relocate several times.
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    arena.push(0, Watch(4 * i, Lit::from_dimacs(1), false));
+    arena.push(1, Watch(4 * i + 2, Lit::from_dimacs(-1), false));
+  }
+  ASSERT_EQ(arena.size(0), 40u);
+  ASSERT_EQ(arena.size(1), 40u);
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(arena.get(0, i).ref(), 4 * i);
+    EXPECT_EQ(arena.get(1, i).ref(), 4 * i + 2);
+  }
+  EXPECT_GT(arena.dead_entries(), 0u);  // growth left relocation holes
+  EXPECT_EQ(arena.live_entries(), 80u);
+}
+
+TEST(WatcherArenaTest, DefragCompactsWithoutReordering) {
+  WatcherArena arena;
+  arena.reset(8);
+  // Force enough churn that the defrag threshold (>= 1024 dead entries and
+  // dead >= a quarter of the slab) is reached.
+  for (std::uint32_t round = 0; round < 9; ++round) {
+    for (std::uint32_t code = 0; code < 8; ++code) {
+      for (std::uint32_t i = 0; i < (1u << round) / 4 + 1; ++i) {
+        arena.push(code, Watch(8 * (round * 1000 + i),
+                               Lit::from_dimacs(1), false));
+      }
+    }
+  }
+  const std::size_t live = arena.live_entries();
+  std::vector<std::uint32_t> before;
+  for (std::uint32_t i = 0; i < arena.size(5); ++i) {
+    before.push_back(arena.get(5, i).ref());
+  }
+  arena.maybe_defrag();
+  EXPECT_EQ(arena.live_entries(), live);
+  EXPECT_EQ(arena.dead_entries(), 0u);
+  // Dense up to the per-block head-room defrag grants (~50%) so that the
+  // next push does not immediately relocate a freshly compacted block.
+  EXPECT_LT(arena.slab_entries(), 2 * live);
+  ASSERT_EQ(arena.size(5), before.size());
+  for (std::uint32_t i = 0; i < arena.size(5); ++i) {
+    EXPECT_EQ(arena.get(5, i).ref(), before[i]);
+  }
 }
 
 // --- VarHeap -----------------------------------------------------------------

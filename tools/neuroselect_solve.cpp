@@ -11,6 +11,9 @@
 ///     --preprocess                 root-level simplification before search
 ///     --vmtf                       use VMTF decisions instead of EVSIDS
 ///     --luby                       use Luby restarts instead of Glucose EMA
+///     --stats-json <file>          write the full counter set as JSON
+///                                  ("-" for stdout)
+///     --progress                   print "c" lines on restarts/reductions
 ///     --quiet                      suppress the model ("v ...") lines
 ///
 /// Output follows SAT-competition conventions: a "s SATISFIABLE" /
@@ -34,8 +37,64 @@ void usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--policy default|frequency] [--alpha f] [--preprocess] "
                "[--proof file] [--max-conflicts n] [--max-propagations n] "
-               "[--vmtf] [--luby] [--quiet] <input.cnf>\n",
+               "[--vmtf] [--luby] [--stats-json file] [--progress] [--quiet] "
+               "<input.cnf>\n",
                prog);
+}
+
+/// Engine-hook consumer: live search progress as "c" comment lines.
+struct ProgressPrinter final : ns::solver::EngineListener {
+  void on_restart(std::uint64_t restarts, std::uint64_t conflicts) override {
+    std::printf("c restart %llu at %llu conflicts\n",
+                static_cast<unsigned long long>(restarts),
+                static_cast<unsigned long long>(conflicts));
+  }
+  void on_reduce(std::uint64_t reductions, std::size_t deleted,
+                 std::size_t live_learned) override {
+    std::printf("c reduce %llu: deleted %zu clauses, %zu learned live\n",
+                static_cast<unsigned long long>(reductions), deleted,
+                live_learned);
+  }
+};
+
+const char* result_name(ns::solver::SatResult r) {
+  switch (r) {
+    case ns::solver::SatResult::kSat:
+      return "SAT";
+    case ns::solver::SatResult::kUnsat:
+      return "UNSAT";
+    default:
+      return "UNKNOWN";
+  }
+}
+
+void write_stats_json(std::FILE* f, const ns::solver::SatResult result,
+                      const ns::solver::Statistics& s) {
+  const auto field = [&](const char* name, std::uint64_t v, bool last = false) {
+    std::fprintf(f, "  \"%s\": %llu%s\n", name,
+                 static_cast<unsigned long long>(v), last ? "" : ",");
+  };
+  std::fprintf(f, "{\n  \"result\": \"%s\",\n", result_name(result));
+  field("decisions", s.decisions);
+  field("propagations", s.propagations);
+  field("propagations_binary", s.propagations_binary);
+  field("propagations_long", s.propagations_long);
+  field("ticks", s.ticks);
+  field("ticks_binary", s.ticks_binary);
+  field("ticks_long", s.ticks_long);
+  field("analyze_ticks", s.analyze_ticks);
+  field("minimize_ticks", s.minimize_ticks);
+  field("decide_ticks", s.decide_ticks);
+  field("reduce_ticks", s.reduce_ticks);
+  field("conflicts", s.conflicts);
+  field("restarts", s.restarts);
+  field("reductions", s.reductions);
+  field("learned_clauses", s.learned_clauses);
+  field("learned_literals", s.learned_literals);
+  field("deleted_clauses", s.deleted_clauses);
+  field("minimized_literals", s.minimized_literals);
+  field("max_trail", s.max_trail);
+  std::fprintf(f, "  \"proxy_seconds\": %.6f\n}\n", s.proxy_seconds());
 }
 
 }  // namespace
@@ -44,6 +103,8 @@ int main(int argc, char** argv) {
   ns::solver::SolverOptions options;
   std::string input_path;
   std::string proof_path;
+  std::string stats_json_path;
+  bool progress = false;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -71,6 +132,10 @@ int main(int argc, char** argv) {
       options.decision_mode = ns::solver::DecisionMode::kVmtf;
     } else if (arg == "--luby") {
       options.restart_mode = ns::solver::RestartMode::kLuby;
+    } else if (arg == "--stats-json") {
+      stats_json_path = next();
+    } else if (arg == "--progress") {
+      progress = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -98,6 +163,8 @@ int main(int argc, char** argv) {
   std::printf("c %s\n", parsed.formula.summary().c_str());
 
   ns::solver::Solver solver(options);
+  ProgressPrinter progress_printer;
+  if (progress) solver.set_listener(&progress_printer);
   solver.load(parsed.formula);
 
   std::ofstream proof_stream;
@@ -113,6 +180,18 @@ int main(int argc, char** argv) {
 
   const ns::solver::SolveOutcome out = solver.solve();
   std::printf("c %s\n", out.stats.summary().c_str());
+  if (!stats_json_path.empty()) {
+    std::FILE* jf = stats_json_path == "-"
+                        ? stdout
+                        : std::fopen(stats_json_path.c_str(), "w");
+    if (jf == nullptr) {
+      std::fprintf(stderr, "c cannot open stats file %s\n",
+                   stats_json_path.c_str());
+      return 1;
+    }
+    write_stats_json(jf, out.result, out.stats);
+    if (jf != stdout) std::fclose(jf);
+  }
   switch (out.result) {
     case ns::solver::SatResult::kSat: {
       std::printf("s SATISFIABLE\n");
