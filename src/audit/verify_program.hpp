@@ -1,0 +1,61 @@
+#pragma once
+/// \file verify_program.hpp
+/// Static verifier for the NN stack's Program IR (nn/program.hpp) and for
+/// the Executor's liveness-planned workspace (nn/executor.hpp).
+///
+/// `verify_program` re-derives every legality condition independently of
+/// the recorder: SSA-style def-before-use, per-opcode arity (which operand
+/// slots must be set, which must stay -1), output shapes recomputed from
+/// operand shapes, immediate/pool bindings (literal and permutation pool
+/// indices, live Parameter and SparseMatrix bindings), and requires_grad
+/// propagation. A program the recorder produced always verifies; a program
+/// corrupted in memory — or a future recorder bug — is rejected with an
+/// op-named diagnostic instead of silently computing garbage.
+///
+/// `verify_workspace_plan` proves an executor's plan alias-safe: every
+/// instruction owns a slot, two instructions may share a slot only when
+/// their live ranges are disjoint (the earlier value's last use strictly
+/// precedes the later definition), and each slot's reserved capacity covers
+/// every tenant. The inference Executor relies on these properties for
+/// correctness; this check is the independent proof.
+///
+/// Rule identifiers (Violation::rule):
+///   ir.def_before_use   operand does not name an earlier instruction
+///   ir.arity            required operand missing / forbidden operand set
+///   ir.shape            recorded output shape != shape derived from inputs
+///   ir.operand_shape    operand shapes illegal for the op
+///   ir.binding          bad pool index / null or mismatched binding
+///   ir.requires_grad    recorded flag != propagated flag
+///   plan.structure      slot table malformed (leaf with slot, bad index)
+///   plan.liveness       planned last use earlier than an actual consumer
+///   plan.alias          two simultaneously-live values share one slot
+///   plan.capacity       slot capacity below a tenant's element count
+
+#include <vector>
+
+#include "audit/audit.hpp"
+#include "nn/executor.hpp"
+#include "nn/program.hpp"
+
+namespace ns::audit {
+
+/// Checks the recorded program; returns every violation found (empty =
+/// verified). Never throws.
+std::vector<Violation> verify_program(const nn::Program& prog);
+
+/// Checks an executor workspace plan against its program. The plan is
+/// passed as a value snapshot (`Executor::plan_snapshot`) so fault-
+/// injection tests can corrupt a copy without touching a live executor.
+std::vector<Violation> verify_workspace_plan(const nn::Program& prog,
+                                             const nn::WorkspacePlan& plan);
+
+/// `enforce(verify_program(prog), where)`.
+void verify_program_or_throw(const nn::Program& prog,
+                             const char* where = "audit::verify_program");
+
+/// `enforce(verify_workspace_plan(...), where)`.
+void verify_workspace_plan_or_throw(
+    const nn::Program& prog, const nn::WorkspacePlan& plan,
+    const char* where = "audit::verify_workspace_plan");
+
+}  // namespace ns::audit

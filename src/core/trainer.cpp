@@ -6,6 +6,7 @@
 #include <numeric>
 #include <random>
 
+#include "audit/verify_program.hpp"
 #include "core/neuroselect.hpp"
 
 namespace ns::core {
@@ -55,8 +56,16 @@ std::vector<EpochStats> train_classifier(
         c->logit = model.forward_logit(c->tape, inst.graph);
         c->loss = c->tape.bce_with_logits(
             c->logit, static_cast<float>(inst.label), pos_weight);
+        // The compile step is verified once per instance: the recorded
+        // forward+loss graph through the static IR checks, the planned
+        // workspace through the alias-safety proof.
+        audit::verify_program_or_throw(c->tape.program(),
+                                       "audit::verify_program(train)");
         c->exec = std::make_unique<nn::Executor>(c->tape.program(),
                                                  nn::ExecMode::kTraining);
+        audit::verify_workspace_plan_or_throw(
+            c->tape.program(), c->exec->plan_snapshot(),
+            "audit::verify_workspace_plan(train)");
         compiled[idx] = std::move(c);
       }
       Compiled& c = *compiled[idx];

@@ -101,6 +101,16 @@ std::size_t Executor::workspace_elements() const {
 
 std::size_t Executor::workspace_buffers() const { return slots_.size(); }
 
+WorkspacePlan Executor::plan_snapshot() const {
+  WorkspacePlan p;
+  p.mode = mode_;
+  p.slot_of = slot_of_;
+  p.last_use = last_use_;
+  p.slot_capacity.reserve(slots_.size());
+  for (const Matrix& s : slots_) p.slot_capacity.push_back(s.capacity());
+  return p;
+}
+
 // ---------------------------------------------------------------------------
 // Accessors
 // ---------------------------------------------------------------------------

@@ -37,6 +37,16 @@ enum class ExecMode : std::uint8_t {
   kInference,  ///< liveness-planned buffer reuse; no gradient storage
 };
 
+/// Value snapshot of an Executor's workspace plan, for external audit
+/// (audit::verify_workspace_plan). A copy, not a view: fault-injection
+/// tests corrupt snapshots freely without touching the live executor.
+struct WorkspacePlan {
+  ExecMode mode = ExecMode::kInference;
+  std::vector<std::int32_t> slot_of;        ///< per inst; -1 for leaves
+  std::vector<std::int32_t> last_use;       ///< per inst; num_insts() = end
+  std::vector<std::size_t> slot_capacity;   ///< per arena slot, in floats
+};
+
 /// Runs one Program against a planned workspace. The program (and every
 /// Parameter / SparseMatrix it binds) must outlive the executor. One
 /// executor is single-threaded at the call level (the kernels underneath
@@ -83,6 +93,9 @@ class Executor {
 
   /// Number of distinct arena buffers the planner allocated.
   std::size_t workspace_buffers() const;
+
+  /// Copies the liveness/slot tables for audit::verify_workspace_plan.
+  WorkspacePlan plan_snapshot() const;
 
  private:
   void plan();

@@ -2,7 +2,27 @@
 
 #include <cmath>
 
+#include "audit/verify_program.hpp"
+
 namespace ns::nn {
+namespace {
+
+/// Every inference session runs the recorded program through the static
+/// IR verifier and proves the planned workspace alias-safe before the
+/// first forward() — a corrupted or mis-recorded model is an AuditError
+/// here, not a wrong probability downstream.
+std::unique_ptr<Executor> make_verified_executor(const Program& prog,
+                                                 ExecMode mode) {
+  audit::verify_program_or_throw(prog,
+                                 "audit::verify_program(InferenceSession)");
+  auto exec = std::make_unique<Executor>(prog, mode);
+  audit::verify_workspace_plan_or_throw(
+      prog, exec->plan_snapshot(),
+      "audit::verify_workspace_plan(InferenceSession)");
+  return exec;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Graph tensor caches
@@ -77,8 +97,7 @@ float SatClassifier::predict_probability(const GraphBatch& g) {
 
 InferenceSession::InferenceSession(SatClassifier& model, const GraphBatch& g)
     : logit_(model.forward_logit(tape_, g)),
-      exec_(std::make_unique<Executor>(tape_.program(),
-                                       ExecMode::kInference)) {}
+      exec_(make_verified_executor(tape_.program(), ExecMode::kInference)) {}
 
 float InferenceSession::predict_probability() {
   exec_->forward();

@@ -189,6 +189,13 @@ class Program {
   const std::vector<std::uint32_t>& perm(std::size_t pool_idx) const {
     return perms_[pool_idx];
   }
+  std::size_t num_literals() const { return literals_.size(); }
+  std::size_t num_perms() const { return perms_.size(); }
+
+  /// Mutable access to a recorded instruction. Exists solely so audit
+  /// fault-injection tests can corrupt a program in place; production code
+  /// must never rewrite recorded instructions.
+  Inst& debug_inst(std::size_t i) { return insts_[i]; }
 
   /// Sum of output elements over all instructions — what an executor with
   /// no buffer reuse would have to hold (workspace-planner baseline).

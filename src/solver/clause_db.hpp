@@ -219,6 +219,19 @@ class ClauseDb {
     }
   }
 
+  /// Visits every clause in arena order, garbage included (read-only
+  /// views). Audit walks use this to validate the stride structure and the
+  /// garbage accounting that `for_each` skips over.
+  template <typename Fn>
+  void for_each_all(Fn&& fn) const {
+    std::size_t off = 0;
+    while (off < data_.size()) {
+      const std::uint32_t extent = data_[off + 1];
+      fn(static_cast<ClauseRef>(off), ConstClauseView(data_.data() + off));
+      off += kHeaderWords + extent;
+    }
+  }
+
   /// Compacts the arena, dropping garbage clauses and shrink slack. Returns
   /// a forwarding function usable to remap old references; references to
   /// garbage clauses map to kInvalidClause. The forwarding table is valid
@@ -233,6 +246,10 @@ class ClauseDb {
 
   /// True when a collection has been run and `forward` is meaningful.
   bool has_forwarding() const { return !forwarding_.empty(); }
+
+  /// Raw arena word access for ns::audit fault-injection tests only —
+  /// corrupting a header (size/extent/flags) is otherwise unreachable.
+  std::uint32_t& debug_word(std::size_t i) { return data_[i]; }
 
  private:
   std::vector<std::uint32_t> data_;

@@ -37,6 +37,22 @@ class Decider {
   /// least one unassigned variable.
   Lit pick();
 
+  /// Read-only view of the heuristic structures for ns::audit. Pointers
+  /// stay valid while the Decider lives; the two Var fields are copies.
+  struct AuditView {
+    const std::vector<double>* activity = nullptr;
+    const VarHeap* heap = nullptr;
+    const std::vector<Var>* vmtf_prev = nullptr;
+    const std::vector<Var>* vmtf_next = nullptr;
+    const std::vector<std::uint64_t>* vmtf_stamp = nullptr;
+    Var vmtf_front = kNoVar;
+    Var vmtf_search = kNoVar;
+  };
+  AuditView audit_view() const {
+    return {&activity_,   &heap_,      &vmtf_prev_, &vmtf_next_,
+            &vmtf_stamp_, vmtf_front_, vmtf_search_};
+  }
+
  private:
   void vmtf_init();
   void vmtf_move_to_front(Var v);

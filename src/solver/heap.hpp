@@ -65,6 +65,15 @@ class VarHeap {
   /// this is a no-op kept for interface clarity).
   void rescaled() {}
 
+  // --- introspection (ns::audit) ----------------------------------------
+  const std::vector<Var>& raw_heap() const { return heap_; }
+
+  /// Position of `v` in the raw heap array; kAbsentPos when not present.
+  std::uint32_t position(Var v) const {
+    return v < pos_.size() ? pos_[v] : kAbsentPos;
+  }
+  static constexpr std::uint32_t kAbsentPos = static_cast<std::uint32_t>(-1);
+
  private:
   static constexpr std::uint32_t kAbsent = static_cast<std::uint32_t>(-1);
 

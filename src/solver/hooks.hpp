@@ -85,6 +85,7 @@ class PropagationHistogram final : public EngineListener {
 class ListenerChain final : public EngineListener {
  public:
   void add(EngineListener* l) { chain_.push_back(l); }
+  void clear() { chain_.clear(); }
 
   void on_assignment(Lit l, std::uint32_t level, bool propagated) override {
     for (EngineListener* e : chain_) e->on_assignment(l, level, propagated);

@@ -31,6 +31,9 @@ class Propagator {
   /// Watcher storage introspection (tests, benches).
   const WatcherArena& watches() const { return watches_; }
 
+  /// Mutable watcher access for ns::audit fault-injection tests only.
+  WatcherArena& debug_watches() { return watches_; }
+
  private:
   SearchContext& ctx_;
   WatcherArena watches_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "audit/solver_audit.hpp"
 #include "solver/simplify.hpp"
 
 namespace ns::solver {
@@ -15,9 +16,34 @@ Solver::Solver(SolverOptions options)
       restarts_(ctx_),
       reducer_(ctx_) {
   ctx_.options = &options_;
+  wire_listener();  // installs the audit listener at NS_CHECK >= 2
 }
 
 Solver::~Solver() = default;
+
+void Solver::set_listener(EngineListener* listener) {
+  user_listener_ = listener;
+  wire_listener();
+}
+
+void Solver::wire_listener() {
+  if constexpr (audit::kCheckLevel >= 2) {
+    if (audit_listener_ == nullptr) {
+      audit_listener_ = std::make_unique<audit::EngineAuditListener>(ctx_);
+    }
+    audit_chain_.clear();
+    audit_chain_.add(audit_listener_.get());
+    if (user_listener_ != nullptr) audit_chain_.add(user_listener_);
+    ctx_.listener = &audit_chain_;
+  } else {
+    ctx_.listener = user_listener_;
+  }
+}
+
+void Solver::audit_subsystems(const char* where) {
+  audit::check_engine_or_throw(ctx_, propagator_, decider_.audit_view(),
+                               where);
+}
 
 void Solver::reset(std::size_t num_vars) {
   ctx_.reset(num_vars);
@@ -77,11 +103,13 @@ void Solver::load(const CnfFormula& formula) {
     for (const Clause& c : pre.formula.clauses()) {
       if (!add_input_clause(c)) return;
     }
+    if constexpr (audit::kCheckLevel >= 1) audit_subsystems("audit::load");
     return;
   }
   for (const Clause& c : formula.clauses()) {
     if (!add_input_clause(c)) return;
   }
+  if constexpr (audit::kCheckLevel >= 1) audit_subsystems("audit::load");
 }
 
 void Solver::backtrack(std::uint32_t target_level) {
@@ -163,7 +191,12 @@ SolveOutcome Solver::solve_with_assumptions(
             std::span<const Lit>(learned.data(), learned.size()), glue);
       }
 
-      if (reducer_.should_reduce()) reducer_.reduce(propagator_);
+      if (reducer_.should_reduce()) {
+        reducer_.reduce(propagator_);
+        if constexpr (audit::kCheckLevel >= 1) {
+          audit_subsystems("audit::reduce");
+        }
+      }
 
       if (options_.max_conflicts != 0 &&
           stats.conflicts >= options_.max_conflicts) {
@@ -214,6 +247,9 @@ SolveOutcome Solver::solve_with_assumptions(
           if (ctx_.listener != nullptr) {
             ctx_.listener->on_restart(stats.restarts, stats.conflicts);
           }
+          if constexpr (audit::kCheckLevel >= 1) {
+            audit_subsystems("audit::restart");
+          }
           continue;
         }
         next = decider_.pick();
@@ -223,6 +259,8 @@ SolveOutcome Solver::solve_with_assumptions(
       ctx_.enqueue(next, kInvalidClause);
     }
   }
+
+  if constexpr (audit::kCheckLevel >= 1) audit_subsystems("audit::solve");
 
   // Close the open Eq. 2 window; whole-run histograms live in listeners.
   std::fill(ctx_.freq.begin(), ctx_.freq.end(), 0);

@@ -26,6 +26,7 @@
 /// for wall-clock timeouts.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -41,6 +42,10 @@
 #include "solver/reduce.hpp"
 #include "solver/restart.hpp"
 #include "solver/stats.hpp"
+
+namespace ns::audit {
+class EngineAuditListener;
+}  // namespace ns::audit
 
 namespace ns::solver {
 
@@ -106,17 +111,33 @@ class Solver {
   void set_proof_tracer(ProofTracer* tracer) { ctx_.proof = tracer; }
 
   /// Attaches an engine event listener (or nullptr to detach). The listener
-  /// must outlive the solve() call; see hooks.hpp for the event set.
-  void set_listener(EngineListener* listener) { ctx_.listener = listener; }
+  /// must outlive the solve() call; see hooks.hpp for the event set. When
+  /// compiled with NS_CHECK >= 2 the listener is chained behind the
+  /// in-search invariant auditor.
+  void set_listener(EngineListener* listener);
 
   /// Propagation subsystem introspection (tests, benches).
   const Propagator& propagator() const { return propagator_; }
+
+  /// Shared search state, read-only (tests, ns::audit::RuntimeAuditor).
+  const SearchContext& context() const { return ctx_; }
+
+  /// Decision subsystem introspection (ns::audit).
+  const Decider& decider() const { return decider_; }
 
  private:
   void reset(std::size_t num_vars);
   bool add_input_clause(const Clause& clause);
   void backtrack(std::uint32_t target_level);
   Model extract_model() const;
+
+  /// Rebuilds ctx_.listener from the user listener and, at NS_CHECK >= 2,
+  /// the engine audit listener (audit first, then the user's).
+  void wire_listener();
+
+  /// Level-1 structural audit of every subsystem; throws audit::AuditError
+  /// naming `where` on the first broken invariant.
+  void audit_subsystems(const char* where);
 
   SolverOptions options_;
   SearchContext ctx_;
@@ -126,6 +147,12 @@ class Solver {
   Decider decider_;
   RestartScheduler restarts_;
   ReduceScheduler reducer_;
+
+  // NS_CHECK >= 2 in-search auditing (see audit/solver_audit.hpp): the
+  // caller's listener and the audit listener are fanned out via one chain.
+  EngineListener* user_listener_ = nullptr;
+  ListenerChain audit_chain_;
+  std::unique_ptr<audit::EngineAuditListener> audit_listener_;
 
   // incremental solving
   std::vector<Lit> failed_assumptions_;

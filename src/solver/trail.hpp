@@ -90,6 +90,20 @@ class Trail {
   /// Index of the next literal BCP has not yet propagated.
   std::size_t qhead = 0;
 
+  /// Mutable internals for ns::audit fault-injection tests only — lets a
+  /// test corrupt values/levels/frames in ways no engine path can, to prove
+  /// the auditor catches them. Production code must never use this.
+  struct DebugAccess {
+    std::vector<LBool>* values;
+    std::vector<std::uint32_t>* level;
+    std::vector<ClauseRef>* reason;
+    std::vector<Lit>* trail;
+    std::vector<std::size_t>* lim;
+  };
+  DebugAccess debug_access() {
+    return {&values_, &level_, &reason_, &trail_, &lim_};
+  }
+
  private:
   std::vector<LBool> values_;          ///< per var
   std::vector<std::uint32_t> level_;   ///< per var

@@ -4,7 +4,10 @@ namespace ns::solver {
 
 void WatcherArena::defrag() {
   std::vector<Watch> compact;
-  compact.reserve(slab_.size() - dead_);
+  // dead_ can only exceed the slab size if the counter itself is corrupt,
+  // but an unsigned underflow here would turn that into a giant reserve;
+  // clamp so defrag stays safe on degenerate (e.g. empty) slabs.
+  compact.reserve(slab_.size() > dead_ ? slab_.size() - dead_ : 0);
   for (Head& h : heads_) {
     const std::uint32_t begin = static_cast<std::uint32_t>(compact.size());
     compact.insert(compact.end(), slab_.begin() + h.begin,
@@ -19,6 +22,7 @@ void WatcherArena::defrag() {
   }
   slab_ = std::move(compact);
   dead_ = 0;
+  ++defrags_;
 }
 
 void WatcherArena::relocate(Head& h) {

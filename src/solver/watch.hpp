@@ -107,13 +107,31 @@ class WatcherArena {
     defrag();
   }
 
-  // --- introspection (tests, benches) -----------------------------------
+  // --- introspection (tests, benches, ns::audit) -------------------------
   std::size_t slab_entries() const { return slab_.size(); }
   std::size_t dead_entries() const { return dead_; }
   std::size_t live_entries() const {
     std::size_t n = 0;
     for (const Head& h : heads_) n += h.size;
     return n;
+  }
+  std::uint32_t block_begin(std::uint32_t code) const {
+    return heads_[code].begin;
+  }
+  std::uint32_t block_cap(std::uint32_t code) const {
+    return heads_[code].cap;
+  }
+  std::uint64_t defrag_count() const { return defrags_; }
+
+  // --- fault injection (ns::audit tests only) ----------------------------
+  /// Forges the dead-entry counter to break the slab accounting (or, set
+  /// above the defrag threshold, to force the next maybe_defrag to fire).
+  void debug_set_dead_entries(std::size_t n) { dead_ = n; }
+  /// Overwrites one list's block descriptor (out-of-range / overlapping
+  /// blocks are otherwise unreachable through the arena API).
+  void debug_set_block(std::uint32_t code, std::uint32_t begin,
+                       std::uint32_t size, std::uint32_t cap) {
+    heads_[code] = Head{begin, size, cap};
   }
 
  private:
@@ -134,6 +152,7 @@ class WatcherArena {
   std::vector<Watch> slab_;
   std::vector<Head> heads_;
   std::size_t dead_ = 0;
+  std::uint64_t defrags_ = 0;
 };
 
 }  // namespace ns::solver

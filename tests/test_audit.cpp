@@ -1,0 +1,700 @@
+/// \file test_audit.cpp
+/// Fault-injection suite for the ns::audit layer. Every audit rule gets at
+/// least one negative test: a valid structure is corrupted through a debug
+/// backdoor (Program::debug_inst, Trail::debug_access, ClauseDb::debug_word,
+/// WatcherArena::debug_set_*) in a way no production path can produce, and
+/// the checker must report the precise rule that names the corruption.
+/// Positive tests pin down that real recorder/engine output verifies clean,
+/// so the auditors stay usable as always-on gates.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "audit/solver_audit.hpp"
+#include "audit/verify_program.hpp"
+#include "gen/generators.hpp"
+#include "nn/executor.hpp"
+#include "nn/program.hpp"
+#include "solver/decide.hpp"
+#include "solver/heap.hpp"
+#include "solver/propagate.hpp"
+#include "solver/solver.hpp"
+
+namespace ns::audit {
+namespace {
+
+using solver::ClauseRef;
+using solver::kInvalidClause;
+
+Lit L(int dimacs) { return Lit::from_dimacs(dimacs); }
+
+bool has_rule(const std::vector<Violation>& vs, const std::string& rule) {
+  for (const Violation& v : vs) {
+    if (v.rule == rule) return true;
+  }
+  return false;
+}
+
+/// Failure-message helper: the rules a checker actually reported.
+std::string rules_of(const std::vector<Violation>& vs) {
+  if (vs.empty()) return "(no violations)";
+  std::string s;
+  for (const Violation& v : vs) {
+    if (!s.empty()) s += ", ";
+    s += v.rule + " [" + v.message + "]";
+  }
+  return s;
+}
+
+// --- solver-side rig ---------------------------------------------------------
+
+/// A standalone engine state: context + propagator + decider, bypassing the
+/// Solver so tests can place the subsystems in precise configurations.
+struct Rig {
+  solver::SolverOptions opts;
+  solver::SearchContext ctx;
+  solver::Propagator prop;
+  solver::Decider dec;
+
+  explicit Rig(std::size_t num_vars) : prop(ctx), dec(ctx) {
+    ctx.options = &opts;
+    ctx.reset(num_vars);
+    prop.reset(num_vars);
+    dec.reset(num_vars);
+  }
+
+  ClauseRef add_clause(std::initializer_list<int> dimacs,
+                       bool learned = false) {
+    std::vector<Lit> lits;
+    for (int d : dimacs) lits.push_back(L(d));
+    const ClauseRef ref = ctx.db.add(lits, learned, /*glue=*/2);
+    if (lits.size() >= 2) prop.attach(ref);
+    if (learned) ctx.learned.push_back(ref);
+    return ref;
+  }
+};
+
+/// A consistent two-decision state with one propagated assignment:
+/// x0 decided at level 1, x1 at level 2, x2 implied by (x2 | ~x0 | ~x1).
+struct PropagatedRig : Rig {
+  ClauseRef reason;
+  PropagatedRig() : Rig(4) {
+    reason = add_clause({3, -1, -2});
+    ctx.trail.push_level();
+    ctx.enqueue(L(1), kInvalidClause);
+    ctx.trail.push_level();
+    ctx.enqueue(L(2), kInvalidClause);
+    ctx.enqueue(L(3), reason);
+  }
+};
+
+TEST(EngineAuditPositive, FreshRigVerifiesClean) {
+  Rig rig(5);
+  rig.add_clause({1, -2, 3});
+  rig.add_clause({2, 4});
+  rig.add_clause({-3, -4, 5}, /*learned=*/true);
+  const auto out = check_engine(rig.ctx, rig.prop, rig.dec.audit_view());
+  EXPECT_TRUE(out.empty()) << rules_of(out);
+}
+
+TEST(EngineAuditPositive, PropagatedStateVerifiesClean) {
+  PropagatedRig rig;
+  const auto out = check_engine(rig.ctx, rig.prop, rig.dec.audit_view());
+  EXPECT_TRUE(out.empty()) << rules_of(out);
+}
+
+// --- trail rules -------------------------------------------------------------
+
+TEST(TrailAudit, QheadPastTrailEnd) {
+  Rig rig(2);
+  rig.ctx.trail.qhead = 5;
+  const auto out = check_trail(rig.ctx);
+  EXPECT_TRUE(has_rule(out, "trail.qhead")) << rules_of(out);
+}
+
+TEST(TrailAudit, FrameOffsetOutOfRange) {
+  Rig rig(2);
+  rig.ctx.trail.push_level();
+  rig.ctx.enqueue(L(1), kInvalidClause);
+  rig.ctx.trail.push_level();
+  rig.ctx.enqueue(L(2), kInvalidClause);
+  (*rig.ctx.trail.debug_access().lim)[1] = 5;  // past the trail end
+  const auto out = check_trail(rig.ctx);
+  EXPECT_TRUE(has_rule(out, "trail.frames")) << rules_of(out);
+}
+
+TEST(TrailAudit, TrailLiteralNotTrue) {
+  Rig rig(2);
+  rig.ctx.trail.push_level();
+  rig.ctx.enqueue(L(1), kInvalidClause);
+  (*rig.ctx.trail.debug_access().values)[0] = LBool::kFalse;
+  const auto out = check_trail(rig.ctx);
+  EXPECT_TRUE(has_rule(out, "trail.value")) << rules_of(out);
+}
+
+TEST(TrailAudit, StoredLevelDisagreesWithFrame) {
+  Rig rig(2);
+  rig.ctx.trail.push_level();
+  rig.ctx.enqueue(L(1), kInvalidClause);
+  (*rig.ctx.trail.debug_access().level)[0] = 0;  // sits in level-1 frame
+  const auto out = check_trail(rig.ctx);
+  EXPECT_TRUE(has_rule(out, "trail.level")) << rules_of(out);
+}
+
+TEST(TrailAudit, VariableTwiceOnTrail) {
+  Rig rig(2);
+  rig.ctx.trail.push_level();
+  rig.ctx.enqueue(L(1), kInvalidClause);
+  rig.ctx.trail.debug_access().trail->push_back(L(1));
+  const auto out = check_trail(rig.ctx);
+  EXPECT_TRUE(has_rule(out, "trail.dup")) << rules_of(out);
+}
+
+TEST(TrailAudit, AssignedVariableAbsentFromTrail) {
+  Rig rig(2);
+  (*rig.ctx.trail.debug_access().values)[1] = LBool::kTrue;
+  const auto out = check_trail(rig.ctx);
+  EXPECT_TRUE(has_rule(out, "trail.dup")) << rules_of(out);
+}
+
+TEST(TrailAudit, DecisionCarriesReason) {
+  Rig rig(2);
+  const ClauseRef c = rig.add_clause({1, 2});
+  rig.ctx.trail.push_level();
+  rig.ctx.enqueue(L(1), kInvalidClause);
+  rig.ctx.trail.set_reason(0, c);
+  const auto out = check_trail(rig.ctx);
+  EXPECT_TRUE(has_rule(out, "trail.decision")) << rules_of(out);
+}
+
+TEST(TrailAudit, ReasonRefIsNotAClause) {
+  Rig rig(2);
+  rig.ctx.trail.push_level();
+  rig.ctx.enqueue(L(1), kInvalidClause);
+  rig.ctx.enqueue(L(2), /*reason=*/777);
+  const auto out = check_trail(rig.ctx);
+  EXPECT_TRUE(has_rule(out, "trail.reason")) << rules_of(out);
+}
+
+TEST(TrailAudit, ReasonMissingImpliedLiteral) {
+  PropagatedRig rig;
+  rig.ctx.db.view(rig.reason).set_lit(0, L(4));  // x2's reason loses x2
+  const auto out = check_trail(rig.ctx);
+  EXPECT_TRUE(has_rule(out, "trail.reason")) << rules_of(out);
+}
+
+TEST(TrailAudit, ReasonIsGarbageClause) {
+  PropagatedRig rig;
+  rig.ctx.db.mark_garbage(rig.reason);
+  const auto out = check_trail(rig.ctx);
+  EXPECT_TRUE(has_rule(out, "trail.reason")) << rules_of(out);
+}
+
+TEST(TrailAudit, ReasonLiteralNotFalse) {
+  PropagatedRig rig;
+  // Swap the reason's falsified ~x1 for the unassigned ~x3.
+  rig.ctx.db.view(rig.reason).set_lit(2, L(-4));
+  const auto out = check_trail(rig.ctx);
+  EXPECT_TRUE(has_rule(out, "trail.reason")) << rules_of(out);
+}
+
+// --- watch rules -------------------------------------------------------------
+
+TEST(WatchAudit, DroppedWatchDetected) {
+  Rig rig(3);
+  rig.add_clause({1, 2, 3});
+  rig.prop.debug_watches().truncate(L(1).code(), 0);  // drop one watch
+  const auto out = check_watches(rig.ctx, rig.prop);
+  EXPECT_TRUE(has_rule(out, "watch.twice")) << rules_of(out);
+}
+
+TEST(WatchAudit, BinaryTagMissing) {
+  Rig rig(2);
+  const ClauseRef c = rig.add_clause({1, 2});
+  rig.prop.debug_watches().set(L(1).code(), 0,
+                               solver::Watch(c, L(2), /*binary=*/false));
+  const auto out = check_watches(rig.ctx, rig.prop);
+  EXPECT_TRUE(has_rule(out, "watch.binary_tag")) << rules_of(out);
+}
+
+TEST(WatchAudit, BlockerNotInClause) {
+  Rig rig(5);
+  const ClauseRef c = rig.add_clause({1, 2, 3});
+  rig.prop.debug_watches().set(L(1).code(), 0,
+                               solver::Watch(c, L(4), /*binary=*/false));
+  const auto out = check_watches(rig.ctx, rig.prop);
+  EXPECT_TRUE(has_rule(out, "watch.blocker")) << rules_of(out);
+}
+
+TEST(WatchAudit, DanglingClauseRef) {
+  Rig rig(3);
+  rig.add_clause({1, 2, 3});
+  rig.prop.debug_watches().set(L(1).code(), 0,
+                               solver::Watch(40, L(2), /*binary=*/false));
+  const auto out = check_watches(rig.ctx, rig.prop);
+  EXPECT_TRUE(has_rule(out, "watch.ref")) << rules_of(out);
+}
+
+TEST(WatchAudit, DeadEntryAccountingBroken) {
+  Rig rig(3);
+  rig.add_clause({1, 2, 3});
+  rig.prop.debug_watches().debug_set_dead_entries(
+      rig.prop.watches().slab_entries() + 7);
+  const auto out = check_watches(rig.ctx, rig.prop);
+  EXPECT_TRUE(has_rule(out, "watch.accounting")) << rules_of(out);
+}
+
+TEST(WatchAudit, BlockExceedsSlab) {
+  Rig rig(3);
+  rig.add_clause({1, 2, 3});
+  rig.prop.debug_watches().debug_set_block(L(1).code(), /*begin=*/0,
+                                           /*size=*/5, /*cap=*/1);
+  const auto out = check_watches(rig.ctx, rig.prop);
+  EXPECT_TRUE(has_rule(out, "watch.block")) << rules_of(out);
+}
+
+TEST(WatchAudit, OverlappingBlocks) {
+  Rig rig(3);
+  rig.add_clause({1, 2, 3});
+  // Alias ~x0's (empty) block onto x0's live block.
+  const auto& w = rig.prop.watches();
+  rig.prop.debug_watches().debug_set_block(
+      L(-1).code(), w.block_begin(L(1).code()), /*size=*/0, /*cap=*/1);
+  const auto out = check_watches(rig.ctx, rig.prop);
+  EXPECT_TRUE(has_rule(out, "watch.block")) << rules_of(out);
+}
+
+// --- clause-db rules ---------------------------------------------------------
+
+TEST(ClauseDbAudit, CorruptExtentBreaksWalk) {
+  Rig rig(3);
+  const ClauseRef c = rig.add_clause({1, 2, 3});
+  rig.ctx.db.debug_word(c + 1) = 1000000;  // extent past the arena end
+  const auto out = check_clause_db(rig.ctx);
+  EXPECT_TRUE(has_rule(out, "db.walk")) << rules_of(out);
+}
+
+TEST(ClauseDbAudit, LearnedCounterDisagrees) {
+  Rig rig(3);
+  const ClauseRef c = rig.add_clause({1, 2}, /*learned=*/true);
+  rig.ctx.db.debug_word(c + 2) &= ~solver::ClauseView::kLearnedBit;
+  const auto out = check_clause_db(rig.ctx);
+  EXPECT_TRUE(has_rule(out, "db.counts")) << rules_of(out);
+}
+
+TEST(ClauseDbAudit, GarbageWordAccountingBroken) {
+  Rig rig(3);
+  const ClauseRef c = rig.add_clause({1, 2, 3});
+  rig.ctx.db.debug_word(c + 0) -= 1;  // size shrinks without accounting
+  const auto out = check_clause_db(rig.ctx);
+  EXPECT_TRUE(has_rule(out, "db.garbage")) << rules_of(out);
+}
+
+TEST(ClauseDbAudit, DuplicateLearnedListEntry) {
+  Rig rig(3);
+  const ClauseRef c = rig.add_clause({1, 2}, /*learned=*/true);
+  rig.ctx.learned.push_back(c);
+  const auto out = check_clause_db(rig.ctx);
+  EXPECT_TRUE(has_rule(out, "db.learned_refs")) << rules_of(out);
+}
+
+TEST(ClauseDbAudit, LearnedClauseMissingFromList) {
+  Rig rig(3);
+  rig.add_clause({1, 2}, /*learned=*/true);
+  rig.ctx.learned.clear();
+  const auto out = check_clause_db(rig.ctx);
+  EXPECT_TRUE(has_rule(out, "db.learned_refs")) << rules_of(out);
+}
+
+// --- decider rules -----------------------------------------------------------
+
+TEST(DeciderAudit, EvsidsHeapPropertyBroken) {
+  Rig rig(3);
+  // A synthetic heap whose key array is mutated after insertion — the
+  // external-activity design makes this the one way to break heap order.
+  std::vector<double> act = {5.0, 4.0, 3.0};
+  solver::VarHeap heap(act);
+  heap.insert(0);
+  heap.insert(1);
+  heap.insert(2);
+  act[2] = 10.0;  // child at slot 2 now outranks the root
+  solver::Decider::AuditView dv = rig.dec.audit_view();
+  dv.activity = &act;
+  dv.heap = &heap;
+  const auto out = check_decider(rig.ctx, dv);
+  EXPECT_TRUE(has_rule(out, "decider.heap")) << rules_of(out);
+}
+
+TEST(DeciderAudit, UnassignedVariableMissingFromHeap) {
+  Rig rig(3);
+  (void)rig.dec.pick();  // pops the max var off the heap; never enqueued
+  const auto out = check_decider(rig.ctx, rig.dec.audit_view());
+  EXPECT_TRUE(has_rule(out, "decider.heap_member")) << rules_of(out);
+}
+
+TEST(DeciderAudit, VmtfCleanAfterReset) {
+  Rig rig(4);
+  rig.opts.decision_mode = solver::DecisionMode::kVmtf;
+  const auto out = check_decider(rig.ctx, rig.dec.audit_view());
+  EXPECT_TRUE(out.empty()) << rules_of(out);
+}
+
+TEST(DeciderAudit, VmtfChainRevisits) {
+  Rig rig(4);
+  rig.opts.decision_mode = solver::DecisionMode::kVmtf;
+  const solver::Decider::AuditView dv = rig.dec.audit_view();
+  // The underlying vectors are non-const members of the Decider; the view
+  // is read-only by design, so corruption goes through const_cast.
+  const_cast<std::vector<Var>&>(*dv.vmtf_next)[dv.vmtf_front] = dv.vmtf_front;
+  const auto out = check_decider(rig.ctx, dv);
+  EXPECT_TRUE(has_rule(out, "decider.vmtf_links")) << rules_of(out);
+}
+
+TEST(DeciderAudit, VmtfFrontInvalid) {
+  Rig rig(4);
+  rig.opts.decision_mode = solver::DecisionMode::kVmtf;
+  solver::Decider::AuditView dv = rig.dec.audit_view();
+  dv.vmtf_front = 7;  // past num_vars
+  const auto out = check_decider(rig.ctx, dv);
+  EXPECT_TRUE(has_rule(out, "decider.vmtf_links")) << rules_of(out);
+}
+
+TEST(DeciderAudit, VmtfStampsNotDecreasing) {
+  Rig rig(4);
+  rig.opts.decision_mode = solver::DecisionMode::kVmtf;
+  const solver::Decider::AuditView dv = rig.dec.audit_view();
+  const Var second = (*dv.vmtf_next)[dv.vmtf_front];
+  const_cast<std::vector<std::uint64_t>&>(*dv.vmtf_stamp)[second] =
+      (*dv.vmtf_stamp)[dv.vmtf_front];
+  const auto out = check_decider(rig.ctx, dv);
+  EXPECT_TRUE(has_rule(out, "decider.vmtf_stamps")) << rules_of(out);
+}
+
+TEST(DeciderAudit, VmtfSearchBelowUnassigned) {
+  Rig rig(4);
+  rig.opts.decision_mode = solver::DecisionMode::kVmtf;
+  solver::Decider::AuditView dv = rig.dec.audit_view();
+  dv.vmtf_search = 0;  // back of the queue; the front is still unassigned
+  const auto out = check_decider(rig.ctx, dv);
+  EXPECT_TRUE(has_rule(out, "decider.vmtf_search")) << rules_of(out);
+}
+
+// --- level-2 incremental checks ---------------------------------------------
+
+TEST(IncrementalAudit, AssignmentEventVerifies) {
+  Rig rig(2);
+  rig.ctx.enqueue(L(1), kInvalidClause);
+  const auto out = check_assignment(rig.ctx, L(1));
+  EXPECT_TRUE(out.empty()) << rules_of(out);
+}
+
+TEST(IncrementalAudit, AssignmentEventForUnassignedLiteral) {
+  Rig rig(2);
+  const auto out = check_assignment(rig.ctx, L(2));
+  EXPECT_TRUE(has_rule(out, "trail.value")) << rules_of(out);
+}
+
+TEST(IncrementalAudit, LearnedClauseAsserting) {
+  Rig rig(3);
+  rig.ctx.trail.push_level();
+  rig.ctx.enqueue(L(2), kInvalidClause);  // x1 true -> ~x1 false
+  rig.ctx.enqueue(L(1), kInvalidClause);  // UIP x0 true
+  const std::vector<Lit> learned = {L(1), L(-2)};
+  const auto out = check_learned_clause(rig.ctx, learned);
+  EXPECT_TRUE(out.empty()) << rules_of(out);
+}
+
+TEST(IncrementalAudit, LearnedClauseNotAsserting) {
+  Rig rig(3);
+  const std::vector<Lit> learned = {L(1), L(-2)};  // both unassigned
+  const auto out = check_learned_clause(rig.ctx, learned);
+  EXPECT_TRUE(has_rule(out, "engine.learned")) << rules_of(out);
+}
+
+TEST(IncrementalAudit, ListenerThrowsOnForgedAssignment) {
+  Rig rig(2);
+  EngineAuditListener listener(rig.ctx);
+  rig.ctx.enqueue(L(1), kInvalidClause);
+  EXPECT_NO_THROW(listener.on_assignment(L(1), 0, true));
+  EXPECT_THROW(listener.on_assignment(L(2), 0, true), AuditError);
+}
+
+TEST(AuditErrorFormat, CarriesAllViolations) {
+  std::vector<Violation> vs = {{"a.b", "first", 1}, {"c.d", "second", 2}};
+  const AuditError e("audit::test", std::move(vs));
+  const std::string what = e.what();
+  EXPECT_NE(what.find("audit::test: a.b: first"), std::string::npos) << what;
+  EXPECT_NE(what.find("+1 more"), std::string::npos) << what;
+  ASSERT_EQ(e.violations().size(), 2u);
+  EXPECT_EQ(e.violations()[1].rule, "c.d");
+  EXPECT_NO_THROW(enforce({}, "audit::test"));
+}
+
+// --- watcher-arena defrag edge cases ----------------------------------------
+
+TEST(WatchDefrag, EmptyListsCompactToHeadroomOnly) {
+  solver::WatcherArena w;
+  w.reset(6);
+  w.debug_set_dead_entries(2000);  // force the trigger on an empty slab
+  w.maybe_defrag();
+  EXPECT_EQ(w.defrag_count(), 1u);
+  EXPECT_EQ(w.dead_entries(), 0u);
+  std::size_t cap_sum = 0;
+  for (std::uint32_t code = 0; code < 6; ++code) {
+    EXPECT_EQ(w.size(code), 0u);
+    cap_sum += w.block_cap(code);
+  }
+  EXPECT_EQ(cap_sum, w.slab_entries());  // accounting restored
+}
+
+TEST(WatchDefrag, RelocationAndDefragPreserveBinaryTaggedRefs) {
+  // Grow one list far enough that relocation holes cross the defrag
+  // threshold; every entry alternates binary/long tagging so the compaction
+  // must preserve the tag bit, the ref, and the order bit-exactly.
+  solver::WatcherArena w;
+  w.reset(4);
+  const std::size_t kEntries = 1200;
+  for (std::size_t i = 0; i < kEntries; ++i) {
+    const bool binary = (i % 2) == 0;
+    w.push(0, solver::Watch(static_cast<ClauseRef>(4 * i),
+                            Lit(static_cast<Var>(i % 3), false), binary));
+  }
+  ASSERT_GE(w.dead_entries(), std::size_t{1024});  // relocations left holes
+  w.maybe_defrag();
+  ASSERT_EQ(w.defrag_count(), 1u);
+  EXPECT_EQ(w.dead_entries(), 0u);
+  ASSERT_EQ(w.size(0), kEntries);
+  for (std::size_t i = 0; i < kEntries; ++i) {
+    const solver::Watch entry = w.get(0, static_cast<std::uint32_t>(i));
+    EXPECT_EQ(entry.binary(), (i % 2) == 0) << "entry " << i;
+    EXPECT_EQ(entry.ref(), static_cast<ClauseRef>(4 * i)) << "entry " << i;
+    EXPECT_EQ(entry.blocker, Lit(static_cast<Var>(i % 3), false))
+        << "entry " << i;
+  }
+  std::size_t cap_sum = 0;
+  for (std::uint32_t code = 0; code < 4; ++code) cap_sum += w.block_cap(code);
+  EXPECT_EQ(cap_sum, w.slab_entries());
+}
+
+TEST(WatchDefrag, TriggeredAtPropagateSafePointUnderAudit) {
+  // 1200 long clauses sharing their first two literals pile every watch
+  // onto two lists, whose doubling relocations leave > 1024 dead entries;
+  // the next propagate() call must defrag and the full engine audit must
+  // still verify clean afterwards (mix of binary + long watches included).
+  Rig rig(60);
+  rig.add_clause({1, 2});
+  for (int k = 0; k < 1200; ++k) {
+    rig.add_clause({1, 2, 3 + (k % 57)});
+  }
+  ASSERT_GE(rig.prop.watches().dead_entries(), std::size_t{1024});
+  EXPECT_EQ(rig.prop.propagate(), kInvalidClause);
+  EXPECT_GE(rig.prop.watches().defrag_count(), 1u);
+  const auto out = check_engine(rig.ctx, rig.prop, rig.dec.audit_view());
+  EXPECT_TRUE(out.empty()) << rules_of(out);
+}
+
+TEST(RuntimeAuditorTest, FullSearchPassesEveryPeriodicAudit) {
+  // A busy configuration (frequent restarts + reductions) drives the
+  // RuntimeAuditor through all its hook points on a real UNSAT search.
+  solver::SolverOptions opts;
+  opts.restart_mode = solver::RestartMode::kLuby;
+  opts.restart_interval = 16;
+  opts.reduce_interval = 40;
+  solver::Solver s(opts);
+  RuntimeAuditor auditor(s.context(), s.propagator(), s.decider());
+  s.set_listener(&auditor);
+  s.load(gen::pigeonhole(7, 6));
+  const solver::SolveOutcome out = s.solve();
+  EXPECT_EQ(out.result, solver::SatResult::kUnsat);
+  const auto final_check =
+      check_engine(s.context(), s.propagator(), s.decider().audit_view());
+  EXPECT_TRUE(final_check.empty()) << rules_of(final_check);
+}
+
+// --- Program IR verifier -----------------------------------------------------
+
+/// A small net exercising leaves, matmul, and a chain of unary activations
+/// (the chain makes the inference planner reuse slots).
+struct SmallNet {
+  nn::Parameter w{nn::Matrix(4, 3, 0.5f)};
+  nn::Program prog;
+  nn::TensorId x, misfit, p, mm, act, sg, th;
+
+  SmallNet() {
+    x = prog.constant(nn::Matrix(2, 4, 1.0f));       // inst 0
+    misfit = prog.constant(nn::Matrix(3, 3, 2.0f));  // inst 1 (unused)
+    p = prog.param(&w);                              // inst 2
+    mm = prog.matmul(x, p);                          // inst 3: 2x3
+    act = prog.relu(mm);                             // inst 4
+    sg = prog.sigmoid(act);                          // inst 5
+    th = prog.tanh_fn(sg);                           // inst 6
+  }
+};
+
+TEST(VerifyProgram, RecorderOutputVerifiesClean) {
+  SmallNet net;
+  const auto out = verify_program(net.prog);
+  EXPECT_TRUE(out.empty()) << rules_of(out);
+}
+
+TEST(VerifyProgram, UseBeforeDef) {
+  SmallNet net;
+  net.prog.debug_inst(net.mm.idx).a = net.th.idx;  // operand from the future
+  const auto out = verify_program(net.prog);
+  EXPECT_TRUE(has_rule(out, "ir.def_before_use")) << rules_of(out);
+}
+
+TEST(VerifyProgram, ForbiddenOperandOnUnaryOp) {
+  SmallNet net;
+  net.prog.debug_inst(net.act.idx).b = 0;  // relu must leave 'b' unset
+  const auto out = verify_program(net.prog);
+  EXPECT_TRUE(has_rule(out, "ir.arity")) << rules_of(out);
+}
+
+TEST(VerifyProgram, RecordedShapeDisagreesWithOperands) {
+  SmallNet net;
+  net.prog.debug_inst(net.mm.idx).rows = 9;
+  const auto out = verify_program(net.prog);
+  EXPECT_TRUE(has_rule(out, "ir.shape")) << rules_of(out);
+}
+
+TEST(VerifyProgram, MatmulInnerDimensionMismatch) {
+  SmallNet net;
+  net.prog.debug_inst(net.mm.idx).a = net.misfit.idx;  // 3x3 into a 4-row B
+  const auto out = verify_program(net.prog);
+  EXPECT_TRUE(has_rule(out, "ir.operand_shape")) << rules_of(out);
+}
+
+TEST(VerifyProgram, LiteralPoolIndexOutOfRange) {
+  SmallNet net;
+  net.prog.debug_inst(net.x.idx).u0 = 99;
+  const auto out = verify_program(net.prog);
+  EXPECT_TRUE(has_rule(out, "ir.binding")) << rules_of(out);
+}
+
+TEST(VerifyProgram, NullParameterBinding) {
+  SmallNet net;
+  net.prog.debug_inst(net.p.idx).param = nullptr;
+  const auto out = verify_program(net.prog);
+  EXPECT_TRUE(has_rule(out, "ir.binding")) << rules_of(out);
+}
+
+TEST(VerifyProgram, RequiresGradDroppedBelowParameter) {
+  SmallNet net;
+  net.prog.debug_inst(net.act.idx).requires_grad = false;
+  const auto out = verify_program(net.prog);
+  EXPECT_TRUE(has_rule(out, "ir.requires_grad")) << rules_of(out);
+}
+
+TEST(VerifyProgram, PermutationLengthMismatchRejected) {
+  nn::Program prog;
+  const nn::TensorId a = prog.constant(nn::Matrix(3, 2, 1.0f));
+  const nn::TensorId wide = prog.constant(nn::Matrix(5, 2, 1.0f));
+  const nn::TensorId perm = prog.permute_rows(a, {2, 1, 0});
+  ASSERT_TRUE(verify_program(prog).empty());
+  // The perm pool itself is immutable, so corrupt the binding instead:
+  // repoint the op at a wider input the 3-entry permutation cannot cover.
+  prog.debug_inst(perm.idx).a = wide.idx;
+  const auto out = verify_program(prog);
+  EXPECT_TRUE(has_rule(out, "ir.binding")) << rules_of(out);
+}
+
+// --- workspace-plan verifier -------------------------------------------------
+
+TEST(VerifyPlan, InferenceAndTrainingPlansVerifyClean) {
+  SmallNet net;
+  nn::Executor inf(net.prog, nn::ExecMode::kInference);
+  const auto out_inf = verify_workspace_plan(net.prog, inf.plan_snapshot());
+  EXPECT_TRUE(out_inf.empty()) << rules_of(out_inf);
+  nn::Executor tr(net.prog, nn::ExecMode::kTraining);
+  const auto out_tr = verify_workspace_plan(net.prog, tr.plan_snapshot());
+  EXPECT_TRUE(out_tr.empty()) << rules_of(out_tr);
+}
+
+TEST(VerifyPlan, LeafWithArenaSlot) {
+  SmallNet net;
+  nn::Executor ex(net.prog, nn::ExecMode::kInference);
+  nn::WorkspacePlan snap = ex.plan_snapshot();
+  snap.slot_of[net.x.idx] = 0;
+  const auto out = verify_workspace_plan(net.prog, snap);
+  EXPECT_TRUE(has_rule(out, "plan.structure")) << rules_of(out);
+}
+
+TEST(VerifyPlan, SlotIndexOutOfRange) {
+  SmallNet net;
+  nn::Executor ex(net.prog, nn::ExecMode::kInference);
+  nn::WorkspacePlan snap = ex.plan_snapshot();
+  snap.slot_of[net.mm.idx] = 99;
+  const auto out = verify_workspace_plan(net.prog, snap);
+  EXPECT_TRUE(has_rule(out, "plan.structure")) << rules_of(out);
+}
+
+TEST(VerifyPlan, TruncatedTableRejected) {
+  SmallNet net;
+  nn::Executor ex(net.prog, nn::ExecMode::kInference);
+  nn::WorkspacePlan snap = ex.plan_snapshot();
+  snap.last_use.pop_back();
+  const auto out = verify_workspace_plan(net.prog, snap);
+  EXPECT_TRUE(has_rule(out, "plan.structure")) << rules_of(out);
+}
+
+TEST(VerifyPlan, EarlyBufferRecycleCaught) {
+  SmallNet net;
+  nn::Executor ex(net.prog, nn::ExecMode::kInference);
+  nn::WorkspacePlan snap = ex.plan_snapshot();
+  // The matmul result is consumed by relu one step later; planning its
+  // last use at its own definition would free the buffer too early.
+  snap.last_use[net.mm.idx] = net.mm.idx;
+  const auto out = verify_workspace_plan(net.prog, snap);
+  EXPECT_TRUE(has_rule(out, "plan.liveness")) << rules_of(out);
+}
+
+TEST(VerifyPlan, OverlappingLiveRangesShareSlot) {
+  SmallNet net;
+  nn::Executor ex(net.prog, nn::ExecMode::kTraining);
+  nn::WorkspacePlan snap = ex.plan_snapshot();
+  // In training every value lives to the end, so any slot sharing aliases
+  // two simultaneously-live buffers.
+  snap.slot_of[net.act.idx] = snap.slot_of[net.mm.idx];
+  const auto out = verify_workspace_plan(net.prog, snap);
+  EXPECT_TRUE(has_rule(out, "plan.alias")) << rules_of(out);
+}
+
+TEST(VerifyPlan, InferencePlanReusesSlots) {
+  // The alias rule is only meaningful if the real planner shares slots;
+  // pin that down, then prove the verifier catches a live-range extension
+  // into the reused slot.
+  SmallNet net;
+  nn::Executor ex(net.prog, nn::ExecMode::kInference);
+  nn::WorkspacePlan snap = ex.plan_snapshot();
+  std::int32_t first = -1, second = -1;
+  const std::int32_t n = static_cast<std::int32_t>(net.prog.num_insts());
+  for (std::int32_t i = 0; i < n && second < 0; ++i) {
+    for (std::int32_t j = i + 1; j < n; ++j) {
+      if (snap.slot_of[i] >= 0 && snap.slot_of[i] == snap.slot_of[j]) {
+        first = i;
+        second = j;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(second, 0) << "inference planner no longer reuses any slot";
+  snap.last_use[first] = second;  // stretch the earlier tenant over the next
+  const auto out = verify_workspace_plan(net.prog, snap);
+  EXPECT_TRUE(has_rule(out, "plan.alias")) << rules_of(out);
+}
+
+TEST(VerifyPlan, SlotCapacityBelowTenant) {
+  SmallNet net;
+  nn::Executor ex(net.prog, nn::ExecMode::kInference);
+  nn::WorkspacePlan snap = ex.plan_snapshot();
+  snap.slot_capacity[snap.slot_of[net.mm.idx]] = 1;
+  const auto out = verify_workspace_plan(net.prog, snap);
+  EXPECT_TRUE(has_rule(out, "plan.capacity")) << rules_of(out);
+}
+
+}  // namespace
+}  // namespace ns::audit

@@ -13,6 +13,10 @@
 ///     --luby                       use Luby restarts instead of Glucose EMA
 ///     --stats-json <file>          write the full counter set as JSON
 ///                                  ("-" for stdout)
+///     --audit                      run level-1 invariant audits during the
+///                                  search (any build, incl. NS_CHECK=0);
+///                                  a violation prints the broken invariant,
+///                                  dumps --stats-json if requested, exit 1
 ///     --progress                   print "c" lines on restarts/reductions
 ///     --quiet                      suppress the model ("v ...") lines
 ///
@@ -25,8 +29,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
+#include "audit/solver_audit.hpp"
 #include "cnf/dimacs.hpp"
 #include "solver/proof.hpp"
 #include "solver/solver.hpp"
@@ -37,8 +43,8 @@ void usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--policy default|frequency] [--alpha f] [--preprocess] "
                "[--proof file] [--max-conflicts n] [--max-propagations n] "
-               "[--vmtf] [--luby] [--stats-json file] [--progress] [--quiet] "
-               "<input.cnf>\n",
+               "[--vmtf] [--luby] [--stats-json file] [--audit] [--progress] "
+               "[--quiet] <input.cnf>\n",
                prog);
 }
 
@@ -104,6 +110,7 @@ int main(int argc, char** argv) {
   std::string input_path;
   std::string proof_path;
   std::string stats_json_path;
+  bool audit = false;
   bool progress = false;
   bool quiet = false;
 
@@ -134,6 +141,8 @@ int main(int argc, char** argv) {
       options.restart_mode = ns::solver::RestartMode::kLuby;
     } else if (arg == "--stats-json") {
       stats_json_path = next();
+    } else if (arg == "--audit") {
+      audit = true;
     } else if (arg == "--progress") {
       progress = true;
     } else if (arg == "--quiet") {
@@ -164,21 +173,56 @@ int main(int argc, char** argv) {
 
   ns::solver::Solver solver(options);
   ProgressPrinter progress_printer;
-  if (progress) solver.set_listener(&progress_printer);
-  solver.load(parsed.formula);
+  ns::solver::ListenerChain listeners;
+  std::unique_ptr<ns::audit::RuntimeAuditor> auditor;
+  if (audit) {
+    auditor = std::make_unique<ns::audit::RuntimeAuditor>(
+        solver.context(), solver.propagator(), solver.decider());
+    listeners.add(auditor.get());
+    std::printf("c runtime invariant audits enabled (--audit)\n");
+  }
+  if (progress) listeners.add(&progress_printer);
+  if (audit || progress) solver.set_listener(&listeners);
 
   std::ofstream proof_stream;
   ns::solver::DratTextWriter proof_writer(proof_stream);
-  if (!proof_path.empty()) {
-    proof_stream.open(proof_path);
-    if (!proof_stream) {
-      std::fprintf(stderr, "c cannot open proof file %s\n", proof_path.c_str());
-      return 1;
-    }
-    solver.set_proof_tracer(&proof_writer);
-  }
 
-  const ns::solver::SolveOutcome out = solver.solve();
+  ns::solver::SolveOutcome out;
+  try {
+    solver.load(parsed.formula);
+    if (!proof_path.empty()) {
+      proof_stream.open(proof_path);
+      if (!proof_stream) {
+        std::fprintf(stderr, "c cannot open proof file %s\n",
+                     proof_path.c_str());
+        return 1;
+      }
+      solver.set_proof_tracer(&proof_writer);
+    }
+    out = solver.solve();
+    if (audit) {
+      // Final boundary audit, independent of how the search ended.
+      ns::audit::check_engine_or_throw(solver.context(), solver.propagator(),
+                                       solver.decider().audit_view(),
+                                       "audit::runtime(final)");
+    }
+  } catch (const ns::audit::AuditError& e) {
+    std::printf("c AUDIT FAILURE: %s\n", e.what());
+    for (const ns::audit::Violation& v : e.violations()) {
+      std::printf("c   violated invariant %s: %s\n", v.rule.c_str(),
+                  v.message.c_str());
+    }
+    if (!stats_json_path.empty()) {
+      std::FILE* jf = stats_json_path == "-"
+                          ? stdout
+                          : std::fopen(stats_json_path.c_str(), "w");
+      if (jf != nullptr) {
+        write_stats_json(jf, ns::solver::SatResult::kUnknown, solver.stats());
+        if (jf != stdout) std::fclose(jf);
+      }
+    }
+    return 1;
+  }
   std::printf("c %s\n", out.stats.summary().c_str());
   if (!stats_json_path.empty()) {
     std::FILE* jf = stats_json_path == "-"

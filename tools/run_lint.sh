@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Lint gate: run clang-tidy (config: .clang-tidy at the repo root) over the
+# project's own sources using the compile database of an existing build
+# directory. Exits nonzero on any finding (WarningsAsErrors: '*').
+#
+# Usage: tools/run_lint.sh [build-dir]
+#   build-dir  defaults to ./build; must contain compile_commands.json
+#              (exported unconditionally by the root CMakeLists).
+#
+# Environments without clang-tidy (the tool is optional for building) skip
+# the gate with exit 0 so `ctest -L lint` stays green everywhere; CI images
+# that do ship clang-tidy enforce it.
+
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_lint: clang-tidy not found on PATH — lint gate skipped" >&2
+  exit 0
+fi
+
+if [ ! -f "${build_dir}/compile_commands.json" ]; then
+  echo "run_lint: ${build_dir}/compile_commands.json not found." >&2
+  echo "run_lint: configure first: cmake -B '${build_dir}' -S '${repo_root}'" >&2
+  exit 2
+fi
+
+# Project sources only: the compile database also covers third-party code
+# (GTest/benchmark object libraries) that is not ours to lint.
+mapfile -t sources < <(cd "${repo_root}" &&
+  find src tools bench examples -name '*.cpp' | sort)
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  # Parallel driver when available (ships with clang-tidy).
+  cd "${repo_root}"
+  exec run-clang-tidy -quiet -p "${build_dir}" "${sources[@]}"
+fi
+
+status=0
+for f in "${sources[@]}"; do
+  if ! clang-tidy --quiet -p "${build_dir}" "${repo_root}/${f}"; then
+    status=1
+  fi
+done
+exit "${status}"
