@@ -1,7 +1,6 @@
 #include "nn/sparse.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <numeric>
 
 #include "runtime/thread_pool.hpp"
@@ -12,11 +11,9 @@ namespace {
 /// Below this many multiply-adds SpMM runs inline (see matrix.cpp).
 constexpr std::size_t kMinParallelOps = std::size_t{1} << 15;
 
-/// Guards lazy transpose materialization across all matrices. Coarse, but
-/// only contended the first time a given adjacency is transposed.
-std::mutex g_transpose_mutex;
-
 }  // namespace
+
+runtime::Mutex SparseMatrix::transpose_mutex_;
 
 SparseMatrix SparseMatrix::from_coo(std::size_t rows, std::size_t cols,
                                     const std::vector<std::uint32_t>& row_idx,
@@ -76,7 +73,7 @@ Matrix SparseMatrix::multiply(const Matrix& x) const {
 }
 
 const SparseMatrix& SparseMatrix::transposed() const {
-  std::lock_guard<std::mutex> lock(g_transpose_mutex);
+  runtime::MutexLock lock(transpose_mutex_);
   if (!transpose_cache_) {
     transpose_cache_ =
         std::make_shared<const SparseMatrix>(materialize_transposed());
@@ -102,7 +99,13 @@ SparseMatrix SparseMatrix::materialize_transposed() const {
 
 void SparseMatrix::normalize_rows(const std::vector<float>& divisor) {
   assert(divisor.size() == rows_);
-  transpose_cache_.reset();  // values change; the cached Sᵀ is stale
+  {
+    // The values change, so the cached Sᵀ is stale. Locked: a concurrent
+    // transposed() reader may be touching the shared_ptr (the annotation
+    // gate surfaced this reset as the one unguarded access).
+    runtime::MutexLock lock(transpose_mutex_);
+    transpose_cache_.reset();
+  }
   for (std::size_t r = 0; r < rows_; ++r) {
     const float d = divisor[r];
     if (d == 0.0f) continue;

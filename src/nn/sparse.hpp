@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "nn/matrix.hpp"
+#include "runtime/annotations.hpp"
 
 namespace ns::nn {
 
@@ -63,8 +64,12 @@ class SparseMatrix {
   std::vector<std::size_t> row_ptr_;   // size rows_+1
   std::vector<std::uint32_t> col_;
   std::vector<float> val_;
+  /// Guards lazy transpose materialization across all matrices. Coarse,
+  /// but only contended the first time a given adjacency is transposed.
+  static runtime::Mutex transpose_mutex_;
   /// Lazily filled by transposed(); shared (not deep-copied) on copy.
-  mutable std::shared_ptr<const SparseMatrix> transpose_cache_;
+  mutable std::shared_ptr<const SparseMatrix> transpose_cache_
+      NS_GUARDED_BY(transpose_mutex_);
 };
 
 }  // namespace ns::nn

@@ -1,12 +1,15 @@
 #include "runtime/thread_pool.hpp"
 
 #include <atomic>
-#include <condition_variable>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "runtime/annotations.hpp"
 
 namespace ns::runtime {
 namespace {
@@ -17,12 +20,29 @@ thread_local bool tl_in_parallel_region = false;
 
 }  // namespace
 
+std::optional<std::size_t> parse_thread_count(const char* text) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') return std::nullopt;  // non-numeric / junk
+  if (errno == ERANGE) return std::nullopt;              // overflows long
+  if (v <= 0) return std::nullopt;                       // zero or negative
+  const auto n = static_cast<std::size_t>(v);
+  return n > kMaxThreads ? kMaxThreads : n;
+}
+
 std::size_t default_thread_count() {
+  // Read-only getenv: no concurrent setenv in this process.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("NS_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0) {
-      return static_cast<std::size_t>(v);
+    if (const auto n = parse_thread_count(env)) return *n;
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "ns::runtime: NS_THREADS='%s' is not a positive integer; "
+                   "falling back to hardware_concurrency()\n",
+                   env);
     }
   }
   const unsigned hw = std::thread::hardware_concurrency();
@@ -31,23 +51,29 @@ std::size_t default_thread_count() {
 
 /// One parallel_for invocation. Workers hold a shared_ptr to the job they
 /// are draining, so a late worker can never claim chunks of a newer job:
-/// its (exhausted) chunk counter belongs to the old Job object.
+/// its (exhausted) chunk counter belongs to the old Job object. Completion
+/// is tracked by Impl::remaining (one active job at a time — callers are
+/// serialized), which keeps all mutex-guarded state on Impl where the
+/// thread-safety analysis can see its guard.
 struct ThreadPool::Job {
   const RangeBody* body = nullptr;
   std::size_t n = 0;
   std::size_t chunks = 0;
   std::atomic<std::size_t> next_chunk{0};
-  std::size_t remaining = 0;  ///< chunks not yet finished; guarded by mutex
 };
 
 struct ThreadPool::Impl {
-  std::mutex mutex;
-  std::condition_variable work_cv;
-  std::condition_variable done_cv;
-  bool stop = false;
-  std::shared_ptr<Job> job;  ///< non-null while a parallel_for is active
+  Mutex mutex;
+  CondVar work_cv;
+  CondVar done_cv;
+  bool stop NS_GUARDED_BY(mutex) = false;
+  /// Non-null while a parallel_for is active.
+  std::shared_ptr<Job> job NS_GUARDED_BY(mutex);
+  /// Chunks of the active job not yet finished.
+  std::size_t remaining NS_GUARDED_BY(mutex) = 0;
 
-  std::mutex caller_mutex;  ///< serializes concurrent top-level callers
+  /// Serializes concurrent top-level callers; never taken by workers.
+  Mutex caller_mutex NS_ACQUIRED_BEFORE(mutex);
   std::vector<std::thread> workers;
 };
 
@@ -62,7 +88,7 @@ ThreadPool::ThreadPool(std::size_t num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     impl_->stop = true;
   }
   impl_->work_cv.notify_all();
@@ -85,9 +111,11 @@ void ThreadPool::run_job(Job& job) {
   }
   tl_in_parallel_region = false;
   if (finished > 0) {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
-    job.remaining -= finished;
-    if (job.remaining == 0) impl_->done_cv.notify_all();
+    // `finished` chunks necessarily belong to the active job: a stale job's
+    // counter is exhausted, so late workers take the finished == 0 path.
+    MutexLock lock(impl_->mutex);
+    impl_->remaining -= finished;
+    if (impl_->remaining == 0) impl_->done_cv.notify_all();
   }
 }
 
@@ -96,10 +124,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(impl_->mutex);
-      impl_->work_cv.wait(lock, [&] {
-        return impl_->stop || (impl_->job != nullptr && impl_->job != last);
-      });
+      MutexLock lock(impl_->mutex);
+      while (!impl_->stop &&
+             (impl_->job == nullptr || impl_->job == last)) {
+        impl_->work_cv.wait(impl_->mutex);
+      }
       if (impl_->stop) return;
       job = impl_->job;
     }
@@ -114,21 +143,21 @@ void ThreadPool::parallel_for(std::size_t n, const RangeBody& body) {
     body(0, n);
     return;
   }
-  std::lock_guard<std::mutex> caller_lock(impl_->caller_mutex);
+  MutexLock caller_lock(impl_->caller_mutex);
   auto job = std::make_shared<Job>();
   job->body = &body;
   job->n = n;
   job->chunks = std::min(num_threads_, n);
-  job->remaining = job->chunks;
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     impl_->job = job;
+    impl_->remaining = job->chunks;
   }
   impl_->work_cv.notify_all();
   run_job(*job);  // the calling thread participates
   {
-    std::unique_lock<std::mutex> lock(impl_->mutex);
-    impl_->done_cv.wait(lock, [&] { return job->remaining == 0; });
+    MutexLock lock(impl_->mutex);
+    while (impl_->remaining != 0) impl_->done_cv.wait(impl_->mutex);
     impl_->job.reset();
   }
 }

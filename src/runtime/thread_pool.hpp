@@ -19,14 +19,28 @@
 
 #include <cstddef>
 #include <functional>
+#include <optional>
 
 namespace ns::runtime {
 
 /// Chunk body: processes loop indices [begin, end).
 using RangeBody = std::function<void(std::size_t begin, std::size_t end)>;
 
-/// Worker count from `NS_THREADS` (if a positive integer), else
-/// `hardware_concurrency()` (min 1).
+/// Hard ceiling on the pool size: an `NS_THREADS` value above this clamps
+/// down to it (a four-digit thread count is a typo, not a deployment).
+inline constexpr std::size_t kMaxThreads = 256;
+
+/// Strict parser for `NS_THREADS`-style overrides. Accepts a base-10
+/// positive integer (optional leading whitespace and `+`), clamped to
+/// [1, kMaxThreads]. Returns nullopt for null/empty input, non-numeric
+/// text, trailing junk (`"8x"`), zero, negatives, and values that
+/// overflow `long` — callers fall back to hardware detection instead of
+/// silently truncating garbage.
+std::optional<std::size_t> parse_thread_count(const char* text);
+
+/// Worker count from `NS_THREADS` (if `parse_thread_count` accepts it;
+/// a rejected value warns once on stderr), else `hardware_concurrency()`
+/// (min 1).
 std::size_t default_thread_count();
 
 /// Fixed pool of `size()` logical threads (the calling thread participates,

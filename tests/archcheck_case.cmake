@@ -1,0 +1,39 @@
+# Negative-test driver for ns::archcheck (mirrors the test_audit
+# fault-injection style at the tool level): runs arch_lint over a seeded
+# fixture tree under tests/fixtures/archcheck/ and asserts that
+#   (a) the run exits nonzero, and
+#   (b) the diagnostic names the expected rule ([layering],
+#       [include-cycle], [relative-include], or [self-contained]).
+#
+# Variables (passed via -D): ARCH_LINT, ROOT, EXPECT_RULE, COMPILER.
+
+foreach(required ARCH_LINT ROOT EXPECT_RULE)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "archcheck_case: ${required} not set")
+  endif()
+endforeach()
+
+set(extra_args)
+if(EXPECT_RULE STREQUAL "self-contained")
+  # Only this rule shells out to the compiler; the others are pure graph
+  # checks and must fire without one.
+  list(APPEND extra_args --compile-headers --compiler "${COMPILER}")
+endif()
+
+execute_process(
+  COMMAND "${ARCH_LINT}" --root "${ROOT}" ${extra_args}
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE res)
+message(STATUS "arch_lint exit ${res}\n${out}${err}")
+
+if(res EQUAL 0)
+  message(FATAL_ERROR
+      "archcheck_case: expected a [${EXPECT_RULE}] violation in ${ROOT}, "
+      "but arch_lint exited 0")
+endif()
+if(NOT out MATCHES "\\[${EXPECT_RULE}\\]")
+  message(FATAL_ERROR
+      "archcheck_case: arch_lint exited ${res} but emitted no "
+      "[${EXPECT_RULE}] diagnostic")
+endif()

@@ -1,0 +1,8 @@
+#pragma once
+#include "a/y.hpp"  // SEEDED VIOLATION: y.hpp includes x.hpp right back
+
+namespace fixture {
+struct X {
+  int from_y = 0;
+};
+}  // namespace fixture

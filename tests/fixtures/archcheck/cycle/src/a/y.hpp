@@ -1,0 +1,8 @@
+#pragma once
+#include "a/x.hpp"
+
+namespace fixture {
+struct Y {
+  int from_x = 0;
+};
+}  // namespace fixture

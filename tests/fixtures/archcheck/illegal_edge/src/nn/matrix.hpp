@@ -1,0 +1,6 @@
+#pragma once
+namespace fixture {
+struct Matrix {
+  int rows = 0;
+};
+}  // namespace fixture

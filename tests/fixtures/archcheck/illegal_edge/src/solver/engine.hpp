@@ -1,0 +1,10 @@
+#pragma once
+#include "cnf/types.hpp"  // declared: solver -> cnf
+#include "nn/matrix.hpp"  // SEEDED VIOLATION: solver -> nn is not declared
+
+namespace fixture {
+struct Engine {
+  Lit decision = 0;
+  Matrix scores;  // the illegal dependency in use
+};
+}  // namespace fixture

@@ -1,0 +1,8 @@
+#pragma once
+// SEEDED VIOLATION: uses std::vector but never includes <vector>.
+
+namespace fixture {
+inline int first_or_zero(const std::vector<int>& v) {
+  return v.empty() ? 0 : v[0];
+}
+}  // namespace fixture

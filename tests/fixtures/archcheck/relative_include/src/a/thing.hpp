@@ -1,0 +1,6 @@
+#pragma once
+namespace fixture {
+struct Thing {
+  int value = 0;
+};
+}  // namespace fixture

@@ -1,0 +1,8 @@
+#pragma once
+#include "../a/thing.hpp"  // SEEDED VIOLATION: must be "a/thing.hpp"
+
+namespace fixture {
+struct User {
+  Thing thing;
+};
+}  // namespace fixture

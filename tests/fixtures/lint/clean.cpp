@@ -1,0 +1,2 @@
+// Deliberately finding-free; linted after dirty.cpp to catch masking.
+int answer() { return 42; }

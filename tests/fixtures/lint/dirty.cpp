@@ -1,0 +1,13 @@
+// Seeded clang-tidy finding for tests/lint_fixture.cmake: both branches
+// are identical, which bugprone-branch-clone reports (and WarningsAsErrors
+// promotes to a failure). Deliberately not suppressed — the fixture needs
+// the finding. This file is linted *before* clean.cpp to prove run_lint.sh
+// aggregates per-file exit codes instead of letting the last clean file
+// mask an earlier failure.
+int classify(int x) {
+  if (x > 0) {
+    return 1;
+  } else {
+    return 1;
+  }
+}

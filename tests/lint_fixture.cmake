@@ -1,0 +1,64 @@
+# Shell-level test for tools/run_lint.sh exit-code aggregation: seeds a
+# fixture compile database where a file with a guaranteed finding
+# (fixtures/lint/dirty.cpp, bugprone-branch-clone) is linted *before* a
+# clean file, and asserts the gate still fails — a short-circuiting or
+# last-exit-code implementation would let clean.cpp mask the failure.
+# Uses --serial to pin the per-file fallback loop (the aggregation under
+# test) even on machines that ship run-clang-tidy.
+#
+# Variables (passed via -D): RUN_LINT, FIXTURES, WORKDIR.
+# Skips cleanly (like run_lint.sh itself) when clang-tidy is unavailable.
+
+foreach(required RUN_LINT FIXTURES WORKDIR)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "lint_fixture: ${required} not set")
+  endif()
+endforeach()
+
+find_program(CLANG_TIDY_EXE clang-tidy)
+if(NOT CLANG_TIDY_EXE)
+  message(STATUS "lint_fixture: clang-tidy not found — skipped (exit 0), "
+                 "matching run_lint.sh's own skip behavior")
+  return()
+endif()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+# Minimal compile database covering both fixture files.
+set(db "[\n")
+foreach(f dirty.cpp clean.cpp)
+  string(APPEND db
+      "  {\"directory\": \"${WORKDIR}\",\n"
+      "   \"file\": \"${FIXTURES}/${f}\",\n"
+      "   \"command\": \"c++ -std=c++20 -c ${FIXTURES}/${f} -o /dev/null\"},\n")
+endforeach()
+string(REGEX REPLACE ",\n$" "\n]\n" db "${db}")
+file(WRITE "${WORKDIR}/compile_commands.json" "${db}")
+
+# dirty first, clean second: the masking order under test.
+file(WRITE "${WORKDIR}/sources.txt"
+    "${FIXTURES}/dirty.cpp\n${FIXTURES}/clean.cpp\n")
+
+execute_process(
+  COMMAND "${RUN_LINT}" --tier fast --serial
+          --sources-from "${WORKDIR}/sources.txt" "${WORKDIR}"
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE res)
+message(STATUS "run_lint exit ${res}\n${out}${err}")
+
+if(res EQUAL 0)
+  message(FATAL_ERROR
+      "lint_fixture: seeded finding in dirty.cpp was masked — run_lint.sh "
+      "exited 0 even though a dirty file preceded a clean one")
+endif()
+if(NOT "${out}${err}" MATCHES "branch-clone")
+  message(FATAL_ERROR
+      "lint_fixture: run_lint.sh failed (exit ${res}) but not on the "
+      "seeded bugprone-branch-clone finding")
+endif()
+if(NOT "${err}" MATCHES "1 with findings")
+  message(FATAL_ERROR
+      "lint_fixture: expected the aggregation summary to count exactly "
+      "one failing file")
+endif()

@@ -176,6 +176,50 @@ TEST_F(RuntimeTest, DefaultThreadCountHonorsEnv) {
   EXPECT_GE(runtime::default_thread_count(), 1u);
 }
 
+TEST_F(RuntimeTest, ParseThreadCountAcceptsPositiveIntegers) {
+  EXPECT_EQ(runtime::parse_thread_count("1"), 1u);
+  EXPECT_EQ(runtime::parse_thread_count("8"), 8u);
+  EXPECT_EQ(runtime::parse_thread_count("+4"), 4u);   // strtol sign
+  EXPECT_EQ(runtime::parse_thread_count(" 16"), 16u);  // leading whitespace
+  EXPECT_EQ(runtime::parse_thread_count("256"), 256u);
+}
+
+TEST_F(RuntimeTest, ParseThreadCountClampsToMaximum) {
+  EXPECT_EQ(runtime::parse_thread_count("257"), runtime::kMaxThreads);
+  EXPECT_EQ(runtime::parse_thread_count("100000"), runtime::kMaxThreads);
+}
+
+TEST_F(RuntimeTest, ParseThreadCountRejectsGarbage) {
+  EXPECT_EQ(runtime::parse_thread_count(nullptr), std::nullopt);
+  EXPECT_EQ(runtime::parse_thread_count(""), std::nullopt);
+  EXPECT_EQ(runtime::parse_thread_count("not-a-number"), std::nullopt);
+  EXPECT_EQ(runtime::parse_thread_count("8x"), std::nullopt);  // junk suffix
+  EXPECT_EQ(runtime::parse_thread_count("4 "), std::nullopt);  // junk suffix
+  EXPECT_EQ(runtime::parse_thread_count("3.5"), std::nullopt);
+  EXPECT_EQ(runtime::parse_thread_count("0"), std::nullopt);
+  EXPECT_EQ(runtime::parse_thread_count("0x8"), std::nullopt);  // base 10 only
+  EXPECT_EQ(runtime::parse_thread_count("-2"), std::nullopt);
+  // Overflows long: rejected, not truncated.
+  EXPECT_EQ(runtime::parse_thread_count("99999999999999999999999999"),
+            std::nullopt);
+}
+
+TEST_F(RuntimeTest, DefaultThreadCountFallsBackOnRejectedEnv) {
+  // A rejected NS_THREADS must behave exactly like an unset one.
+  unsetenv("NS_THREADS");
+  const std::size_t fallback = runtime::default_thread_count();
+  setenv("NS_THREADS", "12garbage", 1);
+  EXPECT_EQ(runtime::default_thread_count(), fallback);
+  setenv("NS_THREADS", "-3", 1);
+  EXPECT_EQ(runtime::default_thread_count(), fallback);
+  setenv("NS_THREADS", "0", 1);
+  EXPECT_EQ(runtime::default_thread_count(), fallback);
+  // Clamped, not rejected: a huge-but-parseable value caps at kMaxThreads.
+  setenv("NS_THREADS", "9999", 1);
+  EXPECT_EQ(runtime::default_thread_count(), runtime::kMaxThreads);
+  unsetenv("NS_THREADS");
+}
+
 TEST_F(RuntimeTest, GemmBitwiseEqualAcrossThreadCounts) {
   // Big enough to clear the kernels' serial-below threshold.
   const Matrix a = sparse_random(65, 70, 1);

@@ -1,0 +1,651 @@
+// arch_lint — ns::archcheck architecture linter (see DESIGN.md §12).
+//
+// Parses every `#include "..."` directive under src/ and the declared app
+// directories (tools/, bench/, tests/, examples/), reconstructs the
+// subsystem dependency graph, and checks it against the layering manifest
+// at src/LAYERS.txt. Violations are reported one per line as
+//
+//   arch_lint: [<rule>] <file>: <message>
+//
+// and optionally as a JSON report (--json). Exit 0 = clean, 1 = violations,
+// 2 = usage/manifest error.
+//
+// Rules:
+//   manifest           malformed manifest, unknown dep name, or an on-disk
+//                      src/ subsystem the manifest does not declare
+//   layering           an observed include edge the manifest does not allow
+//   layer-cycle        a cycle in the subsystem graph (edges leaving an
+//                      `observer` layer are exempt: an observer reads
+//                      headers everywhere without being a link dependency)
+//   include-cycle      a file-level #include cycle (compiles silently under
+//                      #pragma once, so only a graph check catches it)
+//   relative-include   a quoted include containing `..` (escapes the
+//                      include-root discipline)
+//   unresolved-include a quoted include that resolves to no file (quoted
+//                      includes are reserved for project files)
+//   self-contained     with --compile-headers: a public header that does
+//                      not compile as a standalone TU
+//
+// Manifest grammar (one declaration per line, `#` comments):
+//   layer <name> [observer] [: <dep>... | : *]
+//   app <name>
+//
+// `observer` marks a layer whose outgoing edges are excluded from the
+// cycle check; `*` allows every layer as a dependency. App directories may
+// include any layer (and their own files) but never another app.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#ifndef _WIN32
+#include <unistd.h>  // getpid, for the temp-dir suffix
+#endif
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Layer {
+  std::string name;
+  bool observer = false;
+  bool any_dep = false;           // declared `: *`
+  std::set<std::string> deps;     // declared allowed layer dependencies
+};
+
+struct Manifest {
+  std::map<std::string, Layer> layers;
+  std::vector<std::string> apps;
+};
+
+struct Violation {
+  std::string rule;
+  std::string file;   // repo-root-relative path (or manifest path)
+  std::string message;
+};
+
+struct Options {
+  fs::path root;
+  fs::path manifest_path;  // empty = <root>/src/LAYERS.txt
+  fs::path json_path;
+  bool compile_headers = false;
+  std::string compiler;  // empty = $CXX, else "c++"
+  bool verbose = false;
+};
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: arch_lint --root <repo-root> [--manifest <LAYERS.txt>]\n"
+      "                 [--json <report.json>] [--compile-headers]\n"
+      "                 [--compiler <c++-driver>] [--verbose]\n",
+      out);
+}
+
+std::string to_generic(const fs::path& p) { return p.generic_string(); }
+
+/// Parses src/LAYERS.txt. Syntax errors are reported as `manifest`
+/// violations; the returned manifest holds whatever parsed cleanly.
+Manifest parse_manifest(const fs::path& path, std::vector<Violation>& out) {
+  Manifest m;
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lineno = 0;
+  std::vector<std::pair<std::string, std::string>> pending_deps;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    // `layer graph: cnf` — detach glued colons so `:` tokenizes alone.
+    for (std::size_t pos = 0; (pos = line.find(':', pos)) != std::string::npos;
+         pos += 3) {
+      line.replace(pos, 1, " : ");
+    }
+    std::istringstream tokens(line);
+    std::string kind;
+    if (!(tokens >> kind)) continue;  // blank / comment-only line
+    const auto bad = [&](const std::string& why) {
+      out.push_back({"manifest", to_generic(path),
+                     "line " + std::to_string(lineno) + ": " + why});
+    };
+    if (kind == "app") {
+      std::string name;
+      if (!(tokens >> name)) {
+        bad("`app` needs a directory name");
+        continue;
+      }
+      m.apps.push_back(name);
+      continue;
+    }
+    if (kind != "layer") {
+      bad("unknown declaration `" + kind + "` (expected `layer` or `app`)");
+      continue;
+    }
+    Layer layer;
+    if (!(tokens >> layer.name)) {
+      bad("`layer` needs a name");
+      continue;
+    }
+    bool in_deps = false;
+    std::string tok;
+    while (tokens >> tok) {
+      if (tok == ":") {
+        in_deps = true;
+      } else if (!in_deps && tok == "observer") {
+        layer.observer = true;
+      } else if (in_deps && tok == "*") {
+        layer.any_dep = true;
+      } else if (in_deps) {
+        layer.deps.insert(tok);
+        pending_deps.emplace_back(layer.name, tok);
+      } else {
+        bad("unexpected token `" + tok + "` before `:`");
+      }
+    }
+    if (!m.layers.emplace(layer.name, layer).second) {
+      bad("layer `" + layer.name + "` declared twice");
+    }
+  }
+  for (const auto& [from, dep] : pending_deps) {
+    if (!m.layers.count(dep)) {
+      out.push_back({"manifest", to_generic(path),
+                     "layer `" + from + "` depends on undeclared layer `" +
+                         dep + "`"});
+    }
+  }
+  return m;
+}
+
+bool is_source_ext(const fs::path& p) {
+  const std::string e = p.extension().string();
+  return e == ".hpp" || e == ".h" || e == ".cpp" || e == ".cc" || e == ".inc";
+}
+
+/// All project source files under <root>/<dir>, root-relative, sorted.
+/// A subdirectory holding its own src/LAYERS.txt is a nested archcheck
+/// root (e.g. the seeded fixture trees under tests/fixtures/archcheck/)
+/// and is not part of this tree; hidden directories are skipped too.
+std::vector<fs::path> collect_sources(const fs::path& root,
+                                      const std::string& dir) {
+  std::vector<fs::path> files;
+  const fs::path base = root / dir;
+  if (!fs::exists(base)) return files;
+  for (auto it = fs::recursive_directory_iterator(base);
+       it != fs::recursive_directory_iterator(); ++it) {
+    const fs::directory_entry& entry = *it;
+    if (entry.is_directory()) {
+      const std::string name = entry.path().filename().string();
+      if ((!name.empty() && name[0] == '.') ||
+          fs::exists(entry.path() / "src" / "LAYERS.txt")) {
+        it.disable_recursion_pending();
+      }
+      continue;
+    }
+    if (entry.is_regular_file() && is_source_ext(entry.path())) {
+      files.push_back(fs::relative(entry.path(), root));
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// Quoted includes of one file, in order. Angle includes are ignored
+/// (system/third-party); block comments are tracked so commented-out
+/// directives do not count.
+std::vector<std::string> quoted_includes(const fs::path& file) {
+  static const std::regex kInclude(R"(^\s*#\s*include\s*"([^"]+)\")");
+  std::vector<std::string> found;
+  std::ifstream in(file);
+  std::string line;
+  bool in_block_comment = false;
+  while (std::getline(in, line)) {
+    std::string code;
+    code.reserve(line.size());
+    for (std::size_t i = 0; i < line.size();) {
+      if (in_block_comment) {
+        if (line.compare(i, 2, "*/") == 0) {
+          in_block_comment = false;
+          i += 2;
+        } else {
+          ++i;
+        }
+      } else if (line.compare(i, 2, "/*") == 0) {
+        in_block_comment = true;
+        i += 2;
+      } else if (line.compare(i, 2, "//") == 0) {
+        break;
+      } else {
+        code.push_back(line[i]);
+        ++i;
+      }
+    }
+    std::smatch match;
+    if (std::regex_search(code, match, kInclude)) {
+      found.push_back(match[1].str());
+    }
+  }
+  return found;
+}
+
+/// Subsystem of a root-relative path: "src/<layer>/..." -> layer name,
+/// "<app>/..." -> app name, anything else -> nullopt.
+std::optional<std::string> subsystem_of(const Manifest& m,
+                                        const fs::path& rel) {
+  auto it = rel.begin();
+  if (it == rel.end()) return std::nullopt;
+  if (*it == "src") {
+    if (++it == rel.end()) return std::nullopt;
+    const std::string name = it->string();
+    // A bare file directly under src/ (the manifest itself) has no layer.
+    return std::next(it) == rel.end() ? std::nullopt
+                                      : std::optional<std::string>(name);
+  }
+  const std::string top = it->string();
+  for (const auto& app : m.apps) {
+    if (top == app) return top;
+  }
+  return std::nullopt;
+}
+
+/// Resolves a quoted include: first relative to the including file's
+/// directory (standard quoted-include lookup), then against the project
+/// include root <root>/src. Returns a root-relative path.
+std::optional<fs::path> resolve_include(const fs::path& root,
+                                        const fs::path& includer_rel,
+                                        const std::string& inc) {
+  const fs::path sibling =
+      (root / includer_rel).parent_path() / fs::path(inc);
+  if (fs::exists(sibling)) {
+    return fs::relative(fs::weakly_canonical(sibling), root);
+  }
+  const fs::path rooted = root / "src" / fs::path(inc);
+  if (fs::exists(rooted)) {
+    return fs::relative(fs::weakly_canonical(rooted), root);
+  }
+  return std::nullopt;
+}
+
+/// DFS cycle finder over a string-keyed adjacency map. Returns one witness
+/// cycle per strongly-entangled region (first back edge found from each
+/// unvisited node), formatted "a -> b -> a".
+std::vector<std::string> find_cycles(
+    const std::map<std::string, std::set<std::string>>& adj) {
+  std::vector<std::string> cycles;
+  std::map<std::string, int> color;  // 0 = white, 1 = on stack, 2 = done
+  std::vector<std::string> stack;
+  std::set<std::string> in_reported_cycle;
+
+  struct Frame {
+    std::string node;
+    std::set<std::string>::const_iterator next, end;
+  };
+  for (const auto& [start, unused] : adj) {
+    (void)unused;
+    if (color[start] != 0) continue;
+    std::vector<Frame> frames;
+    const auto push = [&](const std::string& n) {
+      color[n] = 1;
+      stack.push_back(n);
+      static const std::set<std::string> kEmpty;
+      const auto it = adj.find(n);
+      const auto& succ = it == adj.end() ? kEmpty : it->second;
+      frames.push_back({n, succ.begin(), succ.end()});
+    };
+    push(start);
+    while (!frames.empty()) {
+      Frame& top = frames.back();
+      if (top.next == top.end) {
+        color[top.node] = 2;
+        stack.pop_back();
+        frames.pop_back();
+        continue;
+      }
+      const std::string succ = *top.next++;
+      if (color[succ] == 1) {
+        // Back edge: the cycle is the stack suffix from succ.
+        const auto begin =
+            std::find(stack.begin(), stack.end(), succ);
+        bool fresh = false;
+        std::string text;
+        for (auto it2 = begin; it2 != stack.end(); ++it2) {
+          if (in_reported_cycle.insert(*it2).second) fresh = true;
+          text += *it2 + " -> ";
+        }
+        text += succ;
+        if (fresh) cycles.push_back(text);
+      } else if (color[succ] == 0) {
+        push(succ);
+      }
+    }
+  }
+  return cycles;
+}
+
+std::string shell_quote(const std::string& s) {
+  std::string q = "'";
+  for (char c : s) {
+    if (c == '\'') {
+      q += "'\\''";
+    } else {
+      q += c;
+    }
+  }
+  q += "'";
+  return q;
+}
+
+/// Compiles each public header under src/ as a standalone TU
+/// (`-fsyntax-only`). Skips with a notice (no violation) when the
+/// compiler cannot be run at all.
+void check_self_contained(const Options& opt,
+                          const std::vector<fs::path>& files,
+                          std::vector<Violation>& out) {
+  std::string cxx = opt.compiler;
+  if (cxx.empty()) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) — single-threaded tool.
+    const char* env = std::getenv("CXX");
+    cxx = (env != nullptr && *env != '\0') ? env : "c++";
+  }
+  const std::string probe =
+      shell_quote(cxx) + " --version > /dev/null 2>&1";
+  // NOLINTNEXTLINE(concurrency-mt-unsafe,cert-env33-c) — lint tool by design.
+  if (std::system(probe.c_str()) != 0) {
+    std::fprintf(stderr,
+                 "arch_lint: note: compiler '%s' not runnable; "
+                 "self-contained header checks skipped\n",
+                 cxx.c_str());
+    return;
+  }
+  std::error_code ec;
+  const fs::path tmp =
+      fs::temp_directory_path() / ("ns_archcheck_" + std::to_string(
+#ifdef _WIN32
+                                       0
+#else
+                                       static_cast<long>(getpid())
+#endif
+                                       ));
+  fs::create_directories(tmp, ec);
+  const fs::path tu = tmp / "header_tu.cpp";
+  const fs::path err = tmp / "header_tu.err";
+  for (const auto& rel : files) {
+    const std::string e = rel.extension().string();
+    if (e != ".hpp" && e != ".h") continue;
+    if (*rel.begin() != "src") continue;  // public headers live under src/
+    const std::string inc =
+        to_generic(fs::path(rel).lexically_relative("src"));
+    {
+      std::ofstream tu_out(tu);
+      tu_out << "#include \"" << inc << "\"\n";
+    }
+    const std::string cmd =
+        shell_quote(cxx) + " -std=c++20 -fsyntax-only -Wall -Wextra -I " +
+        shell_quote(to_generic(opt.root / "src")) + " " +
+        shell_quote(to_generic(tu)) + " 2> " + shell_quote(to_generic(err));
+    // NOLINTNEXTLINE(concurrency-mt-unsafe,cert-env33-c)
+    if (std::system(cmd.c_str()) != 0) {
+      std::string first_error = "(no diagnostics captured)";
+      std::ifstream err_in(err);
+      std::string line;
+      while (std::getline(err_in, line)) {
+        if (line.find("error") != std::string::npos) {
+          first_error = line;
+          break;
+        }
+      }
+      out.push_back({"self-contained", to_generic(rel),
+                     "header does not compile standalone: " + first_error});
+    } else if (opt.verbose) {
+      std::fprintf(stderr, "arch_lint: header ok: %s\n", inc.c_str());
+    }
+  }
+  fs::remove_all(tmp, ec);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "arch_lint: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      opt.root = value();
+    } else if (arg == "--manifest") {
+      opt.manifest_path = value();
+    } else if (arg == "--json") {
+      opt.json_path = value();
+    } else if (arg == "--compile-headers") {
+      opt.compile_headers = true;
+    } else if (arg == "--compiler") {
+      opt.compiler = value();
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "arch_lint: unknown argument %s\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (opt.root.empty()) {
+    usage(stderr);
+    return 2;
+  }
+  opt.root = fs::weakly_canonical(opt.root);
+  if (opt.manifest_path.empty()) {
+    opt.manifest_path = opt.root / "src" / "LAYERS.txt";
+  }
+  if (!fs::exists(opt.manifest_path)) {
+    std::fprintf(stderr, "arch_lint: manifest %s not found\n",
+                 to_generic(opt.manifest_path).c_str());
+    return 2;
+  }
+
+  std::vector<Violation> violations;
+  const Manifest manifest = parse_manifest(opt.manifest_path, violations);
+
+  // Every on-disk subsystem under src/ must be declared: a new directory
+  // cannot join the tree without taking a position in the layer DAG.
+  for (const auto& entry : fs::directory_iterator(opt.root / "src")) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (!manifest.layers.count(name)) {
+      violations.push_back(
+          {"manifest", "src/" + name,
+           "subsystem directory is not declared in the layer manifest"});
+    }
+  }
+
+  // Collect sources: src/ plus each declared app directory.
+  std::vector<fs::path> files = collect_sources(opt.root, "src");
+  for (const auto& app : manifest.apps) {
+    auto extra = collect_sources(opt.root, app);
+    files.insert(files.end(), extra.begin(), extra.end());
+  }
+
+  // Scan includes; build the file-level and subsystem-level graphs.
+  std::map<std::string, std::set<std::string>> file_adj;
+  struct LayerEdge {
+    std::string witness_file, witness_include;
+  };
+  std::map<std::pair<std::string, std::string>, LayerEdge> layer_edges;
+  for (const auto& rel : files) {
+    const std::string rel_str = to_generic(rel);
+    const auto from_sub = subsystem_of(manifest, rel);
+    for (const std::string& inc : quoted_includes(opt.root / rel)) {
+      if (inc.find("..") != std::string::npos) {
+        violations.push_back(
+            {"relative-include", rel_str,
+             "include \"" + inc + "\" uses a `..` path; include via the "
+             "src/-rooted path instead"});
+        continue;
+      }
+      const auto target = resolve_include(opt.root, rel, inc);
+      if (!target) {
+        violations.push_back(
+            {"unresolved-include", rel_str,
+             "include \"" + inc + "\" resolves to no project file (quoted "
+             "includes are reserved for project headers)"});
+        continue;
+      }
+      file_adj[rel_str].insert(to_generic(*target));
+      const auto to_sub = subsystem_of(manifest, *target);
+      if (!from_sub || !to_sub || *from_sub == *to_sub) continue;
+      const auto key = std::make_pair(*from_sub, *to_sub);
+      if (!layer_edges.count(key)) {
+        layer_edges[key] = {rel_str, inc};
+      }
+    }
+  }
+
+  // Layering: every observed cross-subsystem edge must be declared.
+  const auto is_app = [&](const std::string& name) {
+    return std::find(manifest.apps.begin(), manifest.apps.end(), name) !=
+           manifest.apps.end();
+  };
+  for (const auto& [edge, witness] : layer_edges) {
+    const auto& [from, to] = edge;
+    if (is_app(from)) {
+      if (is_app(to)) {
+        violations.push_back(
+            {"layering", witness.witness_file,
+             "app `" + from + "` includes \"" + witness.witness_include +
+                 "\" from app `" + to + "`; apps must not depend on "
+                 "each other"});
+      }
+      continue;  // app -> layer: apps are top-level consumers
+    }
+    if (is_app(to)) {
+      violations.push_back(
+          {"layering", witness.witness_file,
+           "layer `" + from + "` includes \"" + witness.witness_include +
+               "\" from app `" + to + "`; layers must not reach into apps"});
+      continue;
+    }
+    const auto it = manifest.layers.find(from);
+    if (it == manifest.layers.end()) continue;  // already a manifest error
+    const Layer& layer = it->second;
+    if (!layer.any_dep && !layer.deps.count(to)) {
+      violations.push_back(
+          {"layering", witness.witness_file,
+           "include \"" + witness.witness_include + "\" creates edge `" +
+               from + " -> " + to + "`, which src/LAYERS.txt does not "
+               "declare"});
+    }
+  }
+
+  // Subsystem cycles over observed edges, minus observer-outgoing edges
+  // (an observer reads headers everywhere; it is not a link dependency).
+  std::map<std::string, std::set<std::string>> layer_adj;
+  for (const auto& [edge, unused] : layer_edges) {
+    (void)unused;
+    const auto& [from, to] = edge;
+    if (is_app(from) || is_app(to)) continue;
+    const auto it = manifest.layers.find(from);
+    if (it != manifest.layers.end() && it->second.observer) continue;
+    layer_adj[from].insert(to);
+  }
+  for (const std::string& cycle : find_cycles(layer_adj)) {
+    violations.push_back({"layer-cycle", "src",
+                          "subsystem dependency cycle: " + cycle});
+  }
+  // The declared graph must itself be a DAG (manifest sanity).
+  std::map<std::string, std::set<std::string>> declared_adj;
+  for (const auto& [name, layer] : manifest.layers) {
+    if (layer.observer) continue;
+    declared_adj[name] = layer.deps;
+  }
+  for (const std::string& cycle : find_cycles(declared_adj)) {
+    violations.push_back(
+        {"layer-cycle", to_generic(opt.manifest_path),
+         "declared dependency cycle: " + cycle});
+  }
+
+  // File-level include cycles (silent under #pragma once).
+  for (const std::string& cycle : find_cycles(file_adj)) {
+    violations.push_back({"include-cycle", "src",
+                          "#include cycle: " + cycle});
+  }
+
+  if (opt.compile_headers) {
+    check_self_contained(opt, files, violations);
+  }
+
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.rule, a.file, a.message) <
+                     std::tie(b.rule, b.file, b.message);
+            });
+  for (const auto& v : violations) {
+    std::printf("arch_lint: [%s] %s: %s\n", v.rule.c_str(), v.file.c_str(),
+                v.message.c_str());
+  }
+  std::printf(
+      "arch_lint: %zu file(s), %zu subsystem edge(s), %zu violation(s)\n",
+      files.size(), layer_edges.size(), violations.size());
+
+  if (!opt.json_path.empty()) {
+    std::ofstream json(opt.json_path);
+    json << "{\n  \"root\": \"" << json_escape(to_generic(opt.root))
+         << "\",\n  \"files\": " << files.size()
+         << ",\n  \"edges\": [";
+    bool first = true;
+    for (const auto& [edge, unused] : layer_edges) {
+      (void)unused;
+      json << (first ? "" : ", ") << "\"" << json_escape(edge.first)
+           << " -> " << json_escape(edge.second) << "\"";
+      first = false;
+    }
+    json << "],\n  \"violations\": [";
+    first = true;
+    for (const auto& v : violations) {
+      json << (first ? "\n" : ",\n")
+           << "    {\"rule\": \"" << json_escape(v.rule)
+           << "\", \"file\": \"" << json_escape(v.file)
+           << "\", \"message\": \"" << json_escape(v.message) << "\"}";
+      first = false;
+    }
+    json << (first ? "" : "\n  ") << "]\n}\n";
+  }
+  return violations.empty() ? 0 : 1;
+}
