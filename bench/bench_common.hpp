@@ -26,7 +26,14 @@ class BenchJson {
   explicit BenchJson(std::string bench_name) : bench_(std::move(bench_name)) {}
 
   void record(const std::string& name, std::size_t threads, double wall_ms) {
-    entries_.push_back(Entry{name, threads, wall_ms});
+    entries_.push_back(Entry{name, threads, wall_ms, 0.0});
+  }
+
+  /// Variant for thread sweeps: also records the speedup over the same
+  /// workload's 1-thread run (emitted as `speedup_vs_1t`).
+  void record(const std::string& name, std::size_t threads, double wall_ms,
+              double speedup_vs_1t) {
+    entries_.push_back(Entry{name, threads, wall_ms, speedup_vs_1t});
   }
 
   /// Writes `dir`/BENCH_<bench>.json; returns false if the file cannot be
@@ -40,9 +47,12 @@ class BenchJson {
       const Entry& e = entries_[i];
       std::fprintf(f,
                    "  {\"bench\": \"%s\", \"name\": \"%s\", "
-                   "\"threads\": %zu, \"wall_ms\": %.3f}%s\n",
-                   bench_.c_str(), e.name.c_str(), e.threads, e.wall_ms,
-                   i + 1 < entries_.size() ? "," : "");
+                   "\"threads\": %zu, \"wall_ms\": %.3f",
+                   bench_.c_str(), e.name.c_str(), e.threads, e.wall_ms);
+      if (e.speedup_vs_1t > 0.0) {
+        std::fprintf(f, ", \"speedup_vs_1t\": %.3f", e.speedup_vs_1t);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
     }
     std::fprintf(f, "]\n");
     std::fclose(f);
@@ -54,6 +64,7 @@ class BenchJson {
     std::string name;
     std::size_t threads = 0;
     double wall_ms = 0.0;
+    double speedup_vs_1t = 0.0;  ///< 0 when the entry is not a thread sweep
   };
   std::string bench_;
   std::vector<Entry> entries_;

@@ -7,10 +7,14 @@
 /// operator-new calls across a window of repeated predictions — the
 /// liveness-planned workspace must make that count exactly zero with a
 /// single-thread kernel pool — and (b) reports p50/p99 per-call latency.
-/// Results land in BENCH_inference_latency.json; `steady_allocs` entries
-/// carry the allocation count in the wall_ms field (0 expected). The
-/// process exits non-zero if any model allocates in steady state, so the
-/// contract is checkable in CI.
+/// The same contract is then checked on the packed batch path: a
+/// `BatchedInferenceSession` over a 16-instance block-diagonal batch must
+/// also run its prediction window with zero operator-new calls
+/// (`*_batch16_steady_allocs`), and its per-call latency lands in
+/// `*_batch16_p50`. Results land in BENCH_inference_latency.json;
+/// `steady_allocs` entries carry the allocation count in the wall_ms field
+/// (0 expected). The process exits non-zero if any model allocates in
+/// steady state, so the contract is checkable in CI.
 
 #include <algorithm>
 #include <atomic>
@@ -38,10 +42,16 @@ void* operator new(std::size_t size) {
   throw std::bad_alloc();
 }
 void* operator new[](std::size_t size) { return ::operator new(size); }
+// The replaced operator new above is malloc-backed, so free() IS the
+// matching deallocation; GCC pairs the replaced `::operator new` symbol
+// with free() and reports a false mismatch when vector destructors inline.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace {
 
@@ -50,6 +60,7 @@ using Clock = std::chrono::steady_clock;
 constexpr std::size_t kWarmup = 8;
 constexpr std::size_t kAllocWindow = 64;
 constexpr std::size_t kLatencyReps = 200;
+constexpr std::size_t kBatchLatencyReps = 50;
 
 double percentile(std::vector<double> sorted_ms, double p) {
   std::sort(sorted_ms.begin(), sorted_ms.end());
@@ -67,6 +78,19 @@ int main() {
 
   const ns::nn::GraphBatch g =
       ns::nn::GraphBatch::build(ns::gen::random_ksat(60, 252, 3, 2024));
+
+  // Packed 16-instance batch (same split as bench_parallel_scaling's
+  // classify_batch workload) for the batched steady-state check.
+  const std::vector<ns::gen::NamedInstance> split =
+      ns::gen::generate_split(2022, 16, 5);
+  std::vector<ns::nn::GraphBatch> batch_graphs;
+  batch_graphs.reserve(split.size());
+  for (const ns::gen::NamedInstance& inst : split) {
+    batch_graphs.push_back(ns::nn::GraphBatch::build(inst.formula));
+  }
+  std::vector<const ns::nn::GraphBatch*> batch_ptrs;
+  for (const ns::nn::GraphBatch& bg : batch_graphs) batch_ptrs.push_back(&bg);
+  const ns::nn::PackedGraphs packed = ns::nn::PackedGraphs::build(batch_ptrs);
 
   struct Row {
     const char* name;
@@ -121,6 +145,38 @@ int main() {
     std::printf(
         "%-24s p50 %8.4f ms  p99 %8.4f ms  steady-state allocs %zu\n",
         row.name, p50, p99, allocs);
+
+    // Packed batch path: one recorded program over the block-diagonal
+    // 16-instance batch must hold the same zero-allocation contract.
+    ns::nn::BatchedInferenceSession batched(*model, packed);
+    for (std::size_t i = 0; i < kWarmup; ++i) {
+      sink += batched.predict_probabilities()[0];
+    }
+    const std::size_t bbefore = g_alloc_count.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kAllocWindow; ++i) {
+      sink += batched.predict_probabilities()[0];
+    }
+    const std::size_t ballocs =
+        g_alloc_count.load(std::memory_order_relaxed) - bbefore;
+    all_zero = all_zero && ballocs == 0;
+
+    std::vector<double> bms;
+    bms.reserve(kBatchLatencyReps);
+    for (std::size_t i = 0; i < kBatchLatencyReps; ++i) {
+      const auto t0 = Clock::now();
+      sink += batched.predict_probabilities()[0];
+      const auto t1 = Clock::now();
+      bms.push_back(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    const double bp50 = percentile(bms, 0.50);
+
+    json.record(std::string(row.name) + "_batch16_p50", 1, bp50);
+    json.record(std::string(row.name) + "_batch16_steady_allocs", 1,
+                static_cast<double>(ballocs));
+    std::printf(
+        "%-24s batch16 p50 %8.4f ms  steady-state allocs %zu\n",
+        row.name, bp50, ballocs);
   }
 
   if (!json.write()) {

@@ -3,8 +3,10 @@
 /// dual-policy labelling, and batched classification. For each workload the
 /// bench sweeps 1/2/4/8 threads, reports wall time and speedup over the
 /// 1-thread run, and verifies that the results are bitwise identical across
-/// thread counts (the runtime's determinism contract). Measurements are
-/// also written to BENCH_parallel_scaling.json.
+/// thread counts (the runtime's determinism contract). Measurements — with
+/// speedup_vs_1t per row — are also written to BENCH_parallel_scaling.json,
+/// and the bench exits nonzero if any multi-thread run is more than 10%
+/// slower than its own 1-thread baseline.
 
 #include <chrono>
 #include <cstdio>
@@ -66,11 +68,21 @@ SparseMatrix random_csr(std::size_t rows, std::size_t cols,
   return SparseMatrix::from_coo(rows, cols, ri, ci, v);
 }
 
-void report(ns::bench::BenchJson& json, const char* name, std::size_t threads,
+/// Records one sweep point (with its speedup over the workload's 1-thread
+/// run) and returns true when a multi-thread measurement regresses more
+/// than 10% below the 1-thread baseline — the gate that fails the bench.
+bool report(ns::bench::BenchJson& json, const char* name, std::size_t threads,
             double ms, double base_ms) {
   std::printf("  %-18s %2zu threads  %9.2f ms  speedup %.2fx\n", name,
               threads, ms, base_ms / ms);
-  json.record(name, threads, ms);
+  json.record(name, threads, ms, base_ms / ms);
+  if (threads > 1 && ms > base_ms * 1.10) {
+    std::printf("  !! %s regresses at %zu threads: %.2f ms vs %.2f ms "
+                "1-thread (>10%%)\n",
+                name, threads, ms, base_ms);
+    return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -78,6 +90,7 @@ void report(ns::bench::BenchJson& json, const char* name, std::size_t threads,
 int main() {
   ns::bench::BenchJson json("parallel_scaling");
   int mismatches = 0;
+  int regressions = 0;
 
   // --- dense GEMM --------------------------------------------------------
   {
@@ -97,7 +110,7 @@ int main() {
         std::printf("  !! GEMM result differs at %zu threads\n", t);
         ++mismatches;
       }
-      report(json, "gemm", t, ms, base_ms);
+      if (report(json, "gemm", t, ms, base_ms)) ++regressions;
     }
   }
 
@@ -119,7 +132,7 @@ int main() {
         std::printf("  !! SpMM result differs at %zu threads\n", t);
         ++mismatches;
       }
-      report(json, "spmm", t, ms, base_ms);
+      if (report(json, "spmm", t, ms, base_ms)) ++regressions;
     }
   }
 
@@ -154,7 +167,7 @@ int main() {
           }
         }
       }
-      report(json, "labeling", t, ms, base_ms);
+      if (report(json, "labeling", t, ms, base_ms)) ++regressions;
     }
   }
 
@@ -187,7 +200,7 @@ int main() {
         std::printf("  !! classification differs at %zu threads\n", t);
         ++mismatches;
       }
-      report(json, "classify_batch", t, ms, base_ms);
+      if (report(json, "classify_batch", t, ms, base_ms)) ++regressions;
     }
   }
 
@@ -195,10 +208,13 @@ int main() {
   if (!json.write()) {
     std::printf("warning: could not write BENCH_parallel_scaling.json\n");
   }
-  if (mismatches > 0) {
-    std::printf("FAIL: %d determinism mismatches\n", mismatches);
+  if (mismatches > 0 || regressions > 0) {
+    std::printf("FAIL: %d determinism mismatches, %d multi-thread "
+                "regressions (>10%% over 1-thread)\n",
+                mismatches, regressions);
     return 1;
   }
-  std::printf("all results bitwise identical across thread counts\n");
+  std::printf("all results bitwise identical across thread counts, "
+              "no multi-thread regression\n");
   return 0;
 }

@@ -45,13 +45,10 @@ MedianAvg median_avg(std::vector<double> values) {
 std::vector<float> classify_batch(
     nn::SatClassifier& model,
     const std::vector<const nn::GraphBatch*>& batch) {
-  std::vector<float> probs(batch.size(), 0.0f);
-  runtime::parallel_for(batch.size(), [&](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) {
-      probs[i] = model.predict_probability(*batch[i]);
-    }
-  });
-  return probs;
+  if (batch.empty()) return {};
+  const nn::PackedGraphs packed = nn::PackedGraphs::build(batch);
+  nn::BatchedInferenceSession session(model, packed);
+  return session.predict_probabilities();
 }
 
 InstanceRun run_instance(nn::SatClassifier* model,

@@ -53,11 +53,13 @@ struct EndToEndSummary {
   double average_improvement_percent = 0.0;
 };
 
-/// P(label == 1) for every graph in `batch`, fanned over the runtime pool
-/// (one recorded program + inference-mode executor per instance; the model
-/// parameters are only read, and no gradient storage is allocated).
-/// Bitwise identical to calling `model.predict_probability` per graph, for
-/// any thread count.
+/// P(label == 1) for every graph in `batch`. The batch is packed into one
+/// block-diagonal `PackedGraphs` and evaluated through a single recorded
+/// program + inference-mode executor (DESIGN.md §13): thread-level
+/// parallelism lives inside the batch-sized GEMM/SpMM kernels rather than
+/// fanning one session per graph. The model parameters are only read, and
+/// no gradient storage is allocated. Bitwise identical to calling
+/// `model.predict_probability` per graph, for any thread count.
 std::vector<float> classify_batch(
     nn::SatClassifier& model,
     const std::vector<const nn::GraphBatch*>& batch);

@@ -114,6 +114,9 @@ class Executor {
   std::vector<Matrix> slots_;           ///< arena, reserved to planned capacity
   std::vector<Matrix> grads_;           ///< lazily sized; empty unless requires_grad
   std::vector<float> scratch_;          ///< per-inst scalar (Frobenius norm)
+  /// Per-inst, per-segment scalars (segment Frobenius norms); sized at plan
+  /// time so steady-state forward/backward stays allocation-free.
+  std::vector<std::vector<float>> seg_scratch_;
   bool grads_allocated_ = false;
   bool ran_forward_ = false;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/kernels_simd.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace ns::nn {
@@ -21,7 +22,8 @@ constexpr std::size_t kMinParallelOps = std::size_t{1} << 15;
 template <typename Body>
 void for_each_output_row(std::size_t rows, std::size_t total_ops,
                          const Body& body) {
-  if (total_ops < kMinParallelOps || runtime::global_pool().size() <= 1) {
+  if (total_ops < kMinParallelOps ||
+      runtime::global_pool().effective_size() <= 1) {
     body(0, rows);
     return;
   }
@@ -68,6 +70,10 @@ void matmul_into(const Matrix& a, const Matrix& b, Matrix& c) {
   for_each_output_row(
       a.rows(), a.rows() * a.cols() * b.cols(),
       [&](std::size_t r0, std::size_t r1) {
+        if (simd::gemm_rows(a.data(), a.cols(), b.data(), b.cols(), c.data(),
+                            r0, r1)) {
+          return;
+        }
         for (std::size_t i = r0; i < r1; ++i) {
           float* crow = c.data() + i * c.cols();
           for (std::size_t k = 0; k < a.cols(); ++k) {
@@ -95,6 +101,7 @@ void matmul_at_b_into(const Matrix& a, const Matrix& b, Matrix& c) {
             const float aki = a.data()[k * a.cols() + i];
             if (aki == 0.0f) continue;
             const float* brow = b.data() + k * b.cols();
+            if (simd::axpy(crow, brow, aki, b.cols())) continue;
             for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
           }
         }

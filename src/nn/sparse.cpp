@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "nn/kernels_simd.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace ns::nn {
@@ -40,6 +41,35 @@ SparseMatrix SparseMatrix::from_coo(std::size_t rows, std::size_t cols,
   return s;
 }
 
+SparseMatrix SparseMatrix::block_diagonal(
+    const std::vector<const SparseMatrix*>& blocks) {
+  SparseMatrix s;
+  std::size_t total_nnz = 0;
+  for (const SparseMatrix* b : blocks) {
+    assert(b != nullptr);
+    s.rows_ += b->rows_;
+    s.cols_ += b->cols_;
+    total_nnz += b->nnz();
+  }
+  s.row_ptr_.reserve(s.rows_ + 1);
+  s.row_ptr_.push_back(0);
+  s.col_.reserve(total_nnz);
+  s.val_.reserve(total_nnz);
+  std::size_t edge_base = 0, col_base = 0;
+  for (const SparseMatrix* b : blocks) {
+    for (std::size_t r = 0; r < b->rows_; ++r) {
+      s.row_ptr_.push_back(edge_base + b->row_ptr_[r + 1]);
+    }
+    for (std::size_t e = 0; e < b->nnz(); ++e) {
+      s.col_.push_back(static_cast<std::uint32_t>(col_base + b->col_[e]));
+      s.val_.push_back(b->val_[e]);
+    }
+    edge_base += b->nnz();
+    col_base += b->cols_;
+  }
+  return s;
+}
+
 void SparseMatrix::multiply_into(const Matrix& x, Matrix& y) const {
   assert(x.rows() == cols_);
   assert(y.rows() == rows_ && y.cols() == x.cols());
@@ -54,12 +84,13 @@ void SparseMatrix::multiply_into(const Matrix& x, Matrix& y) const {
       for (std::size_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
         const float w = val_[e];
         const float* xrow = x.data() + col_[e] * x.cols();
+        if (simd::axpy(yrow, xrow, w, x.cols())) continue;
         for (std::size_t j = 0; j < x.cols(); ++j) yrow[j] += w * xrow[j];
       }
     }
   };
   if (nnz() * x.cols() < kMinParallelOps ||
-      runtime::global_pool().size() <= 1) {
+      runtime::global_pool().effective_size() <= 1) {
     rows_body(0, rows_);
   } else {
     runtime::global_pool().parallel_for(rows_, rows_body);

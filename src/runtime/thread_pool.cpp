@@ -1,5 +1,6 @@
 #include "runtime/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
@@ -77,8 +78,23 @@ struct ThreadPool::Impl {
   std::vector<std::thread> workers;
 };
 
-ThreadPool::ThreadPool(std::size_t num_threads)
+namespace {
+
+std::size_t hardware_threads() {
+  static const std::size_t hw = [] {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? static_cast<std::size_t>(n) : std::size_t{1};
+  }();
+  return hw;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads, bool clamp_to_hardware)
     : num_threads_(num_threads == 0 ? default_thread_count() : num_threads),
+      effective_threads_(clamp_to_hardware
+                             ? std::min(num_threads_, hardware_threads())
+                             : num_threads_),
       impl_(new Impl) {
   impl_->workers.reserve(num_threads_ - 1);
   for (std::size_t i = 0; i + 1 < num_threads_; ++i) {
@@ -139,7 +155,8 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n, const RangeBody& body) {
   if (n == 0) return;
-  if (num_threads_ <= 1 || n == 1 || tl_in_parallel_region) {
+  const std::size_t chunks = std::min(effective_threads_, n);
+  if (chunks <= 1 || tl_in_parallel_region) {
     body(0, n);
     return;
   }
@@ -147,13 +164,21 @@ void ThreadPool::parallel_for(std::size_t n, const RangeBody& body) {
   auto job = std::make_shared<Job>();
   job->body = &body;
   job->n = n;
-  job->chunks = std::min(num_threads_, n);
+  job->chunks = chunks;
   {
     MutexLock lock(impl_->mutex);
     impl_->job = job;
     impl_->remaining = job->chunks;
   }
-  impl_->work_cv.notify_all();
+  // The caller runs one chunk itself, so at most chunks - 1 workers are
+  // useful: wake exactly that many instead of the whole herd (late risers
+  // would only find an exhausted chunk counter).
+  const std::size_t wake = std::min(chunks - 1, impl_->workers.size());
+  if (wake == impl_->workers.size()) {
+    impl_->work_cv.notify_all();
+  } else {
+    for (std::size_t i = 0; i < wake; ++i) impl_->work_cv.notify_one();
+  }
   run_job(*job);  // the calling thread participates
   {
     MutexLock lock(impl_->mutex);

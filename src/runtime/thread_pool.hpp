@@ -16,6 +16,16 @@
 ///    oversubscribing.
 ///  - The pool size defaults to the `NS_THREADS` environment variable when
 ///    set, else `std::thread::hardware_concurrency()`.
+///  - Dispatch fan-out is clamped to the hardware concurrency: a pool asked
+///    for more threads than the machine has cores still spawns them (the
+///    requested size is an upper bound honoured on bigger machines), but
+///    `parallel_for` splits work into at most `hardware_concurrency()`
+///    chunks. Oversubscribing a CPU-bound kernel only adds context switches
+///    and cache thrash; since chunk boundaries depend on (n, chunks) alone
+///    and each index is owned by exactly one body call, results are bitwise
+///    identical at any fan-out, so the clamp is a pure wall-clock win.
+///    Tests that exercise the cross-thread handoff machinery itself can opt
+///    out via the `clamp_to_hardware` constructor flag.
 
 #include <cstddef>
 #include <functional>
@@ -48,8 +58,13 @@ std::size_t default_thread_count();
 /// whole range is processed; concurrent top-level calls serialize.
 class ThreadPool {
  public:
-  /// `num_threads == 0` means `default_thread_count()`.
-  explicit ThreadPool(std::size_t num_threads = 0);
+  /// `num_threads == 0` means `default_thread_count()`. With
+  /// `clamp_to_hardware` (the default), `parallel_for` fans out to at most
+  /// `hardware_concurrency()` chunks even when the pool is larger; pass
+  /// false only in tests that need to drive the multi-worker handoff paths
+  /// on machines with fewer cores than pool threads.
+  explicit ThreadPool(std::size_t num_threads = 0,
+                      bool clamp_to_hardware = true);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -57,8 +72,15 @@ class ThreadPool {
 
   std::size_t size() const { return num_threads_; }
 
-  /// Runs `body` over [0, n), split into min(size(), n) static chunks.
-  /// Runs inline when the pool has one thread or when called from inside
+  /// Number of chunks `parallel_for` actually fans out to for large n:
+  /// `size()` clamped to the hardware concurrency (unless the pool opted
+  /// out). Kernel dispatch heuristics should gate on this, not `size()`,
+  /// so an oversubscribed pool on a small machine takes the cheap inline
+  /// path instead of paying wake-up costs for no parallelism.
+  std::size_t effective_size() const { return effective_threads_; }
+
+  /// Runs `body` over [0, n), split into min(effective_size(), n) static
+  /// chunks. Runs inline when that is one chunk or when called from inside
   /// another parallel_for (nested parallelism).
   void parallel_for(std::size_t n, const RangeBody& body);
 
@@ -69,6 +91,7 @@ class ThreadPool {
   void run_job(Job& job);
 
   std::size_t num_threads_ = 1;
+  std::size_t effective_threads_ = 1;
   struct Impl;
   Impl* impl_ = nullptr;  // pimpl keeps <thread>/<mutex> out of the header
 };

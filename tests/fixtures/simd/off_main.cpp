@@ -1,0 +1,29 @@
+// NS_SIMD=0 fixture (driven by simd_off_case.cmake): with the vector tier
+// compiled out, every dispatch entry point must refuse the call (return
+// false) and leave its outputs untouched. Exercises only the header-inline
+// API so the TU links without ns_nn.
+
+#include "nn/kernels_simd.hpp"
+
+namespace simd = ns::nn::simd;
+
+int main() {
+  float y[8] = {1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f, 7.0f, 8.0f};
+  const float x[8] = {8.0f, 7.0f, 6.0f, 5.0f, 4.0f, 3.0f, 2.0f, 1.0f};
+  const float saved = y[0];
+
+  if (simd::axpy(y, x, 2.0f, 8)) return 1;
+  if (simd::gemm_rows(x, 4, x, 2, y, 0, 2)) return 2;
+  if (simd::relu(y, x, 8)) return 3;
+  if (simd::add(y, x, x, 8)) return 4;
+  if (simd::sub(y, x, x, 8)) return 5;
+  if (simd::hadamard(y, x, x, 8)) return 6;
+  if (simd::scale(y, x, 0.5f, 8)) return 7;
+  if (simd::add_scalar(y, x, 0.5f, 8)) return 8;
+  if (simd::bias_add(y, x, x, 2, 4)) return 9;
+  if (simd::row_scale(y, x, x, 2, 4)) return 10;
+
+  // A refused kernel must not have written anything.
+  if (y[0] != saved) return 11;
+  return 0;
+}

@@ -1,0 +1,40 @@
+# NS_SIMD=OFF build fixture: compiles and runs a tiny TU that includes
+# nn/kernels_simd.hpp with NS_SIMD forced to 0 (the configure-time OFF
+# path), asserting that
+#   (a) the header still compiles standalone without the vector tier, and
+#   (b) every dispatch entry point returns false, leaving outputs untouched
+#       (the scalar-fallback contract of DESIGN.md §13).
+#
+# Variables (passed via -D): COMPILER, SRC_DIR, FIXTURE, WORKDIR.
+
+foreach(required COMPILER SRC_DIR FIXTURE WORKDIR)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "simd_off_case: ${required} not set")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(exe "${WORKDIR}/simd_off_fixture")
+
+execute_process(
+  COMMAND "${COMPILER}" -std=c++20 -Wall -Wextra -Werror
+          -DNS_SIMD=0 -I "${SRC_DIR}" "${FIXTURE}" -o "${exe}"
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE res)
+if(NOT res EQUAL 0)
+  message(FATAL_ERROR
+      "simd_off_case: kernels_simd.hpp failed to compile with NS_SIMD=0:\n"
+      "${out}${err}")
+endif()
+
+execute_process(
+  COMMAND "${exe}"
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE res)
+if(NOT res EQUAL 0)
+  message(FATAL_ERROR
+      "simd_off_case: fixture exited ${res} — a dispatch entry point "
+      "claimed the call in an NS_SIMD=0 build:\n${out}${err}")
+endif()
