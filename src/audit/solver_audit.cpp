@@ -283,6 +283,57 @@ std::vector<Violation> check_clause_db(const SearchContext& ctx) {
   return out;
 }
 
+std::vector<Violation> check_gc_forwarding(const ClauseDb& db) {
+  std::vector<Violation> out;
+  if (!db.has_forwarding()) {
+    add(out, "gc.forwarding", -1,
+        "no collection has run — the forwarding table is empty");
+    return out;
+  }
+  const ArenaIndex idx = index_arena(db, out);
+  if (!idx.ok) return out;
+
+  const std::vector<ClauseRef>& fwd = db.forwarding_table();
+  std::size_t live = 0;
+  ClauseRef prev = 0;
+  bool have_prev = false;
+  for (std::size_t old_ref = 0; old_ref < fwd.size(); ++old_ref) {
+    const ClauseRef new_ref = fwd[old_ref];
+    if (new_ref == kInvalidClause) continue;
+    ++live;
+    if (idx.starts.count(new_ref) == 0) {
+      add(out, "gc.forwarding", static_cast<std::int64_t>(old_ref),
+          "old ref " + std::to_string(old_ref) + " forwards to " +
+              std::to_string(new_ref) +
+              ", which is not a clause start in the compacted arena");
+      continue;
+    }
+    if (db.view(new_ref).garbage()) {
+      add(out, "gc.forwarding", static_cast<std::int64_t>(old_ref),
+          "old ref " + std::to_string(old_ref) + " forwards to " +
+              std::to_string(new_ref) + ", a garbage clause — collection "
+              "must drop garbage, not relocate it");
+      continue;
+    }
+    if (have_prev && new_ref <= prev) {
+      add(out, "gc.forwarding", static_cast<std::int64_t>(old_ref),
+          "relocation is not monotone: old ref " + std::to_string(old_ref) +
+              " forwards to " + std::to_string(new_ref) +
+              ", not above the previous forward " + std::to_string(prev) +
+              " — ref-based tie-breaks would reorder across the collection");
+    }
+    prev = new_ref;
+    have_prev = true;
+  }
+  if (live != db.num_clauses()) {
+    add(out, "gc.live_count", static_cast<std::int64_t>(live),
+        "forwarding table keeps " + std::to_string(live) +
+            " refs alive but the arena holds " +
+            std::to_string(db.num_clauses()) + " live clauses");
+  }
+  return out;
+}
+
 std::vector<Violation> check_watches(const SearchContext& ctx,
                                      const solver::Propagator& prop) {
   std::vector<Violation> out;

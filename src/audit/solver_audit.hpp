@@ -25,6 +25,9 @@
 ///   db.counts          live/learned clause counts disagree with headers
 ///   db.garbage         garbage-word accounting out of balance
 ///   db.learned_refs    ctx.learned disagrees with live learned clauses
+///   gc.forwarding      relocation entry dangles (not a live clause start in
+///                      the compacted arena) or the mapping is not monotone
+///   gc.live_count      number of forwarded (live) refs != live clause count
 ///   decider.heap       EVSIDS heap property or position index broken
 ///   decider.heap_member  unassigned variable missing from the heap
 ///   decider.vmtf_links   VMTF prev/next chain broken or incomplete
@@ -53,6 +56,14 @@ std::vector<Violation> check_trail(const solver::SearchContext& ctx);
 /// Clause arena: stride walk, header counts, garbage accounting, and the
 /// ctx.learned list against the live learned clauses.
 std::vector<Violation> check_clause_db(const solver::SearchContext& ctx);
+
+/// Relocation map of the last ClauseDb::garbage_collect(): every forwarded
+/// reference must land on a live clause start in the compacted arena, the
+/// old-to-new mapping must be strictly monotone (arena order is preserved,
+/// so ref-based tie-breaks order identically across a collection), and the
+/// number of forwarded refs must equal the live clause count. Run at the
+/// GC boundary (NS_CHECK >= 1) before any new clause is added.
+std::vector<Violation> check_gc_forwarding(const solver::ClauseDb& db);
 
 /// Watcher arena: block accounting and the two-watched-literal scheme
 /// (every live clause of size >= 2 watched exactly once on each of its

@@ -2,7 +2,7 @@
 
 namespace ns::solver {
 
-void ClauseDb::collect_garbage() {
+void ClauseDb::garbage_collect() {
   std::vector<std::uint32_t> compacted;
   compacted.reserve(data_.size() - garbage_words_);
   forwarding_.assign(data_.size(), kInvalidClause);

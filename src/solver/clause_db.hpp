@@ -9,16 +9,19 @@
 ///   word 1: extent (allocated literal slots; >= size). The arena walk
 ///           strides over `extent`, so shrinking a clause in place leaves
 ///           traversal intact — the freed slack is reclaimed by the next
-///           `collect_garbage`.
+///           `garbage_collect`.
 ///   word 2: flags  — bit 0 learned, bit 1 garbage, bit 2 reason-protected,
 ///                    bit 3 used-since-last-reduce; glue (LBD) in bits 8..31
 ///   word 3: activity (float, bit-cast)
 ///   word 4..4+size-1: literal codes (slots size..extent-1 are dead slack)
 ///
 /// Garbage collection is a compacting copy: callers first mark clauses
-/// garbage, then run `collect_garbage`, then remap every stored ClauseRef
+/// garbage, then run `garbage_collect`, then remap every stored ClauseRef
 /// through the returned forwarding table. Compaction also squeezes out any
-/// shrink slack (copied clauses get extent == size).
+/// shrink slack (copied clauses get extent == size). `check_garbage(frac)`
+/// is the trigger predicate for deferred collection: it fires once the
+/// dead fraction of the arena reaches `frac`, so long-lived incremental
+/// engines can batch many deletions into one relocation pass.
 
 #include <bit>
 #include <cassert>
@@ -171,7 +174,7 @@ class ClauseDb {
   /// Shrinks a clause in place (in-processing / strengthening). The clause
   /// keeps its allocated extent, so `for_each` still strides correctly over
   /// the arena; the freed words are accounted as garbage and reclaimed by
-  /// the next `collect_garbage`.
+  /// the next `garbage_collect`.
   void shrink(ClauseRef ref, std::uint32_t new_size) {
     ClauseView c = view(ref);
     assert(new_size <= c.size());
@@ -232,13 +235,25 @@ class ClauseDb {
     }
   }
 
-  /// Compacts the arena, dropping garbage clauses and shrink slack. Returns
-  /// a forwarding function usable to remap old references; references to
+  /// Compacts the arena, dropping garbage clauses and shrink slack. Builds
+  /// a forwarding table usable to remap old references; references to
   /// garbage clauses map to kInvalidClause. The forwarding table is valid
-  /// until the next mutation of the database.
-  void collect_garbage();
+  /// until the next mutation of the database. Relocation preserves arena
+  /// order, so the old-to-new mapping is monotone — reference comparisons
+  /// (deterministic tie-breaks) order identically before and after a
+  /// collection.
+  void garbage_collect();
 
-  /// Remaps an old reference after collect_garbage().
+  /// True once the dead fraction of the arena (garbage clauses plus shrink
+  /// slack) has reached `frac` — the deferred-GC trigger predicate. Never
+  /// fires on an all-live arena.
+  bool check_garbage(double frac) const {
+    return garbage_words_ > 0 &&
+           static_cast<double>(garbage_words_) >=
+               frac * static_cast<double>(data_.size());
+  }
+
+  /// Remaps an old reference after garbage_collect().
   ClauseRef forward(ClauseRef old_ref) const {
     assert(old_ref < forwarding_.size());
     return forwarding_[old_ref];
@@ -247,9 +262,17 @@ class ClauseDb {
   /// True when a collection has been run and `forward` is meaningful.
   bool has_forwarding() const { return !forwarding_.empty(); }
 
+  /// The whole old-ref -> new-ref relocation map of the last collection
+  /// (ns::audit::check_gc_forwarding re-derives its invariants from this).
+  const std::vector<ClauseRef>& forwarding_table() const { return forwarding_; }
+
   /// Raw arena word access for ns::audit fault-injection tests only —
   /// corrupting a header (size/extent/flags) is otherwise unreachable.
   std::uint32_t& debug_word(std::size_t i) { return data_[i]; }
+
+  /// Mutable relocation map for ns::audit fault-injection tests only — a
+  /// corrupt forwarding entry is unreachable through the GC path itself.
+  std::vector<ClauseRef>& debug_forwarding() { return forwarding_; }
 
  private:
   std::vector<std::uint32_t> data_;

@@ -8,6 +8,7 @@
 /// over is spelled out in one place.
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -68,6 +69,31 @@ struct SearchContext {
     }
     stats.max_trail = std::max<std::uint64_t>(stats.max_trail, trail.size());
     if (listener != nullptr) listener->on_assignment(l, lvl, propagated);
+  }
+
+  /// After ClauseDb::garbage_collect(): rewrites every ClauseRef the
+  /// context holds outside the arena — reason references on the trail and
+  /// the learned list — through the forwarding table. Reasons of current
+  /// assignments are never garbage (reduce skips them), so their forwards
+  /// must exist; learned entries that died are dropped, order preserved.
+  /// Watch lists are the Propagator's to fix (rebuild or remap_watches).
+  void remap_after_gc() {
+    for (std::size_t i = 0; i < trail.size(); ++i) {
+      const Var v = trail[i].var();
+      const ClauseRef r = trail.reason(v);
+      if (r != kInvalidClause) {
+        const ClauseRef fwd = db.forward(r);
+        assert(fwd != kInvalidClause);
+        trail.set_reason(v, fwd);
+      }
+    }
+    std::vector<ClauseRef> live;
+    live.reserve(learned.size());
+    for (ClauseRef ref : learned) {
+      const ClauseRef fwd = db.forward(ref);
+      if (fwd != kInvalidClause) live.push_back(fwd);
+    }
+    learned = std::move(live);
   }
 
   /// Bumps a learned clause's activity, rescaling all learned activities

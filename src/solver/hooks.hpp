@@ -16,6 +16,7 @@
 
 #include "cnf/types.hpp"
 #include "solver/clause_db.hpp"
+#include "solver/stats.hpp"
 
 namespace ns::solver {
 
@@ -60,6 +61,27 @@ class EngineListener {
     (void)deleted;
     (void)live_learned;
   }
+
+  /// A solve() query is starting. `query` is the 1-based query ordinal
+  /// within the current load; `assumptions` is the assumption set (valid
+  /// only for the duration of the call). Fired after the engine has
+  /// backtracked to root, before any propagation of the query.
+  virtual void on_solve_begin(std::uint64_t query,
+                              std::span<const Lit> assumptions) {
+    (void)query;
+    (void)assumptions;
+  }
+
+  /// A solve() query finished. `query_stats` is the per-query delta (see
+  /// Statistics::delta_since); lifetime totals remain readable through
+  /// `Solver::stats()`. Fired on every exit path, budget exhaustion and
+  /// interrupts included.
+  virtual void on_solve_end(std::uint64_t query, SatResult result,
+                            const Statistics& query_stats) {
+    (void)query;
+    (void)result;
+    (void)query_stats;
+  }
 };
 
 /// Accumulates the whole-run per-variable propagation histogram (the data
@@ -103,6 +125,16 @@ class ListenerChain final : public EngineListener {
                  std::size_t live_learned) override {
     for (EngineListener* e : chain_) {
       e->on_reduce(reductions, deleted, live_learned);
+    }
+  }
+  void on_solve_begin(std::uint64_t query,
+                      std::span<const Lit> assumptions) override {
+    for (EngineListener* e : chain_) e->on_solve_begin(query, assumptions);
+  }
+  void on_solve_end(std::uint64_t query, SatResult result,
+                    const Statistics& query_stats) override {
+    for (EngineListener* e : chain_) {
+      e->on_solve_end(query, result, query_stats);
     }
   }
 

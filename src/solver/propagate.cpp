@@ -12,12 +12,45 @@ void Propagator::attach(ClauseRef ref) {
   watches_.push(c.lit(1).code(), Watch(ref, c.lit(0), binary));
 }
 
+void Propagator::detach(ClauseRef ref) {
+  ClauseView c = ctx_.db.view(ref);
+  assert(c.size() >= 2);
+  // Propagation normalization keeps the watched pair at indices 0 and 1.
+  for (const Lit l : {c.lit(0), c.lit(1)}) {
+    const std::uint32_t code = l.code();
+    const std::uint32_t count = watches_.size(code);
+    Watch* ws = watches_.data(code);
+    std::uint32_t j = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (ws[i].ref() != ref) ws[j++] = ws[i];
+    }
+    assert(j + 1 == count);
+    watches_.truncate(code, j);
+  }
+}
+
 void Propagator::rebuild() {
   watches_.clear_lists();
   ctx_.db.for_each([this](ClauseRef ref, ClauseView c) {
     (void)c;
     attach(ref);
   });
+}
+
+void Propagator::remap_watches(const ClauseDb& db) {
+  const std::size_t lists = watches_.num_lists();
+  for (std::size_t code = 0; code < lists; ++code) {
+    const std::uint32_t c = static_cast<std::uint32_t>(code);
+    const std::uint32_t count = watches_.size(c);
+    Watch* ws = watches_.data(c);
+    std::uint32_t j = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const ClauseRef fwd = db.forward(ws[i].ref());
+      if (fwd == kInvalidClause) continue;  // clause died; drop its watch
+      ws[j++] = Watch(fwd, ws[i].blocker, ws[i].binary());
+    }
+    watches_.truncate(c, j);
+  }
 }
 
 ClauseRef Propagator::propagate() {

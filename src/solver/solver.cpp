@@ -53,6 +53,11 @@ void Solver::reset(std::size_t num_vars) {
   restarts_.reset();
   reducer_.reset();
   failed_assumptions_.clear();
+  query_base_ = Statistics{};
+  lifetime_max_trail_ = 0;
+  state_ = EngineState::kAdding;
+  // budget_ and the interrupt flag deliberately survive a reload (MiniSat
+  // semantics: budgets apply until changed, interrupts until cleared).
 }
 
 bool Solver::add_input_clause(const Clause& clause) {
@@ -116,6 +121,10 @@ void Solver::backtrack(std::uint32_t target_level) {
   ctx_.trail.shrink_to_level(target_level, [this](Lit l, LBool erased) {
     decider_.on_unassign(l.var(), erased);
   });
+  // A backjump below the assumption prefix invalidates the levels above
+  // the target; the assertion loop re-establishes them.
+  ctx_.trail.assumption_levels =
+      std::min(ctx_.trail.assumption_levels, ctx_.trail.decision_level());
 }
 
 Model Solver::extract_model() const {
@@ -128,6 +137,98 @@ Model Solver::extract_model() const {
 
 SolveOutcome Solver::solve() { return solve_with_assumptions({}); }
 
+SolveOutcome Solver::solve(const std::vector<Lit>& assumptions) {
+  return solve_with_assumptions(
+      std::span<const Lit>(assumptions.data(), assumptions.size()));
+}
+
+bool Solver::add_clause(std::span<const Lit> lits) {
+  assert(state_ == EngineState::kAdding);
+  assert(ctx_.proof == nullptr);  // added clauses are outside the DRAT input
+  backtrack(0);  // clause addition is a root-level operation
+  if (ctx_.inconsistent) return false;
+  // Fold in root assignments, then sort/dedupe and reject tautologies —
+  // load() relies on CnfFormula having done this, but raw literal spans
+  // arrive unnormalized.
+  std::vector<Lit> cleaned;
+  cleaned.reserve(lits.size());
+  for (Lit l : lits) {
+    assert(l.is_defined() && l.var() < ctx_.num_vars);
+    const LBool v = ctx_.value(l);
+    if (v == LBool::kTrue) return true;  // satisfied at root
+    if (v == LBool::kUndef) cleaned.push_back(l);
+  }
+  std::sort(cleaned.begin(), cleaned.end(),
+            [](Lit a, Lit b) { return a.code() < b.code(); });
+  cleaned.erase(std::unique(cleaned.begin(), cleaned.end()), cleaned.end());
+  for (std::size_t i = 1; i < cleaned.size(); ++i) {
+    if (cleaned[i] == ~cleaned[i - 1]) return true;  // tautology
+  }
+  if (cleaned.empty()) {
+    ctx_.inconsistent = true;
+    return false;
+  }
+  if (cleaned.size() == 1) {
+    // Enqueued as a root unit; propagated to fixpoint by the next solve(),
+    // which rewinds qhead over the whole root trail anyway.
+    ctx_.enqueue(cleaned[0], kInvalidClause);
+    return true;
+  }
+  const ClauseRef ref = ctx_.db.add(cleaned, /*learned=*/false, /*glue=*/0);
+  propagator_.attach(ref);
+  return true;
+}
+
+void Solver::garbage_collect() {
+  assert(state_ == EngineState::kAdding);
+  garbage_collect_now("audit::gc(forced)");
+}
+
+void Solver::garbage_collect_now(const char* where) {
+  ctx_.db.garbage_collect();
+  ctx_.remap_after_gc();
+  propagator_.remap_watches(ctx_.db);
+  ++ctx_.stats.garbage_collections;
+  if constexpr (audit::kCheckLevel >= 1) {
+    audit::enforce(audit::check_gc_forwarding(ctx_.db), where);
+    audit_subsystems(where);
+  }
+}
+
+StopReason Solver::stop_reason() const {
+  const Statistics& s = ctx_.stats;
+  if (interrupted_.load(std::memory_order_relaxed)) {
+    return StopReason::kInterrupted;
+  }
+  if ((options_.max_conflicts != 0 &&
+       s.conflicts >= options_.max_conflicts) ||
+      (budget_.conflicts != 0 &&
+       s.conflicts - query_base_.conflicts >= budget_.conflicts)) {
+    return StopReason::kConflictBudget;
+  }
+  if ((options_.max_propagations != 0 &&
+       s.propagations >= options_.max_propagations) ||
+      (budget_.propagations != 0 &&
+       s.propagations - query_base_.propagations >= budget_.propagations)) {
+    return StopReason::kPropagationBudget;
+  }
+  if (budget_.ticks != 0 && s.ticks - query_base_.ticks >= budget_.ticks) {
+    return StopReason::kTickBudget;
+  }
+  return StopReason::kNone;
+}
+
+SolveOutcome Solver::finish_query(SolveOutcome out) {
+  out.core = failed_assumptions_;
+  out.stats = ctx_.stats.delta_since(query_base_);
+  query_base_ = ctx_.stats;
+  state_ = EngineState::kAdding;
+  if (ctx_.listener != nullptr) {
+    ctx_.listener->on_solve_end(ctx_.stats.queries, out.result, out.stats);
+  }
+  return out;
+}
+
 SolveOutcome Solver::solve_with_assumptions(
     std::span<const Lit> assumptions) {
   Trail& trail = ctx_.trail;
@@ -135,15 +236,28 @@ SolveOutcome Solver::solve_with_assumptions(
 
   SolveOutcome out;
   failed_assumptions_.clear();
+  state_ = EngineState::kSolving;
+  ++stats.queries;
   backtrack(0);     // allow repeated incremental calls
   trail.qhead = 0;  // re-propagate root units against any newly learned
+  // Re-arm the per-query trail watermark to the root height (a no-op on
+  // the first query after load, which keeps single-shot stats identical).
+  lifetime_max_trail_ = std::max(lifetime_max_trail_, stats.max_trail);
+  stats.max_trail = trail.size();
+  if (ctx_.listener != nullptr) {
+    ctx_.listener->on_solve_begin(stats.queries, assumptions);
+  }
   if (ctx_.inconsistent) {
     // Root-level contradiction found while loading: the empty clause is
     // derivable by unit propagation over the input alone.
     if (ctx_.proof != nullptr) ctx_.proof->on_add({});
     out.result = SatResult::kUnsat;
-    out.stats = stats;
-    return out;
+    return finish_query(std::move(out));
+  }
+  // Deferred garbage from a previous query's reductions may already sit
+  // over the threshold; reclaim before searching again.
+  if (options_.gc_frac > 0.0 && ctx_.db.check_garbage(options_.gc_frac)) {
+    garbage_collect_now("audit::gc(query)");
   }
 
   std::vector<Lit> learned;
@@ -196,27 +310,30 @@ SolveOutcome Solver::solve_with_assumptions(
         if constexpr (audit::kCheckLevel >= 1) {
           audit_subsystems("audit::reduce");
         }
+        // Deferred mode: reduce only detached + marked; compact once the
+        // dead fraction crosses the threshold.
+        if (options_.gc_frac > 0.0 &&
+            ctx_.db.check_garbage(options_.gc_frac)) {
+          garbage_collect_now("audit::gc(reduce)");
+        }
       }
 
-      if (options_.max_conflicts != 0 &&
-          stats.conflicts >= options_.max_conflicts) {
+      if (const StopReason why = stop_reason(); why != StopReason::kNone) {
         out.result = SatResult::kUnknown;
-        break;
-      }
-      if (options_.max_propagations != 0 &&
-          stats.propagations >= options_.max_propagations) {
-        out.result = SatResult::kUnknown;
+        out.why = why;
         break;
       }
     } else {
       // Assert pending assumptions first (each on its own decision level).
       Lit next = Lit::undef();
+      bool next_is_assumption = false;
       bool assumption_failure = false;
       while (trail.decision_level() < assumptions.size()) {
         const Lit a = assumptions[trail.decision_level()];
         const LBool v = ctx_.value(a);
         if (v == LBool::kTrue) {
           trail.push_level();  // dummy level, already true
+          trail.assumption_levels = trail.decision_level();
         } else if (v == LBool::kFalse) {
           analyzer_.analyze_final(a, failed_assumptions_);
           out.result = SatResult::kUnsat;
@@ -224,6 +341,7 @@ SolveOutcome Solver::solve_with_assumptions(
           break;
         } else {
           next = a;
+          next_is_assumption = true;
           break;
         }
       }
@@ -235,14 +353,18 @@ SolveOutcome Solver::solve_with_assumptions(
           out.model = extract_model();
           break;
         }
-        if (options_.max_propagations != 0 &&
-            stats.propagations >= options_.max_propagations) {
+        if (const StopReason why = stop_reason();
+            why != StopReason::kNone) {
           out.result = SatResult::kUnknown;
+          out.why = why;
           break;
         }
         if (restarts_.should_restart()) {
           ++stats.restarts;
-          backtrack(0);
+          // Unwind to the assumption prefix, not level 0: assumption
+          // assignments survive restarts within a query (with no
+          // assumptions this is the classic restart-to-root).
+          backtrack(trail.assumption_levels);
           restarts_.on_restart();
           if (ctx_.listener != nullptr) {
             ctx_.listener->on_restart(stats.restarts, stats.conflicts);
@@ -256,6 +378,9 @@ SolveOutcome Solver::solve_with_assumptions(
       }
       ++stats.decisions;
       trail.push_level();
+      if (next_is_assumption) {
+        trail.assumption_levels = trail.decision_level();
+      }
       ctx_.enqueue(next, kInvalidClause);
     }
   }
@@ -264,8 +389,7 @@ SolveOutcome Solver::solve_with_assumptions(
 
   // Close the open Eq. 2 window; whole-run histograms live in listeners.
   std::fill(ctx_.freq.begin(), ctx_.freq.end(), 0);
-  out.stats = stats;
-  return out;
+  return finish_query(std::move(out));
 }
 
 SolveOutcome solve_formula(const CnfFormula& formula,

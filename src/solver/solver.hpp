@@ -25,6 +25,7 @@
 /// collection, and deterministic propagation/conflict budgets that stand in
 /// for wall-clock timeouts.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -49,22 +50,44 @@ class EngineAuditListener;
 
 namespace ns::solver {
 
-/// Outcome of a solve() call.
-enum class SatResult : std::uint8_t { kSat, kUnsat, kUnknown };
-
-/// Full result bundle of one solver run.
+/// Full result bundle of one solve() query. (SatResult and StopReason live
+/// in stats.hpp so the engine hooks can name them too.)
 struct SolveOutcome {
   SatResult result = SatResult::kUnknown;
   Model model;        ///< complete assignment; valid only when kSat
-  Statistics stats;   ///< counters for the run
+  Statistics stats;   ///< per-query delta (lifetime totals: Solver::stats())
+  /// Final-conflict assumption core: on kUnsat under assumptions, a subset
+  /// of the assumptions whose conjunction with the formula is already
+  /// unsatisfiable (empty when the formula is unsatisfiable on its own).
+  std::vector<Lit> core;
+  StopReason why = StopReason::kNone;  ///< why the result is kUnknown
 };
 
 /// The CDCL solver: orchestrates the search subsystems.
 ///
-/// Usage: construct with options, `load` a formula, `solve`. A Solver is
-/// single-use per load; loading a new formula resets all state.
+/// A Solver is a long-lived incremental engine. Usage: construct with
+/// options, `load` a formula once, then alternate freely between
+/// `add_clause` and `solve(assumptions)` — decision-heuristic state,
+/// learned clauses, and the restart/reduce schedules stay warm across
+/// queries. Loading a new formula resets all state. The lifecycle is a
+/// two-state machine (see DESIGN.md §14): ADDING (between queries; clause
+/// addition and GC are legal) and SOLVING (inside solve(); the engine
+/// backtracks to root on entry and returns to ADDING on every exit path).
 class Solver {
  public:
+  /// Per-query resource budgets (0 = unlimited). Checked against the
+  /// counters accumulated *since the query began*, unlike the lifetime
+  /// `SolverOptions::max_*` limits; a stream of budgeted queries each gets
+  /// the full allowance.
+  struct Budget {
+    std::uint64_t conflicts = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t ticks = 0;
+  };
+
+  /// Lifecycle state, for introspection (see DESIGN.md §14).
+  enum class EngineState : std::uint8_t { kAdding, kSolving };
+
   explicit Solver(SolverOptions options = {});
   ~Solver();
 
@@ -77,21 +100,67 @@ class Solver {
   /// Runs the CDCL search until SAT/UNSAT or a budget expires.
   SolveOutcome solve();
 
+  /// Incremental interface: solves under the conjunction of `assumptions`.
+  SolveOutcome solve(const std::vector<Lit>& assumptions);
+
   /// Incremental interface: solves under the conjunction of `assumptions`
-  /// (literals decided before any free decision). On kUnsat,
-  /// `failed_assumptions()` holds a subset of the assumptions whose
-  /// conjunction with the formula is already unsatisfiable (the "failed
-  /// core"; empty when the formula is unsatisfiable on its own). The solver
-  /// can be re-invoked with different assumptions without reloading.
+  /// (literals decided before any free decision). On kUnsat, the outcome's
+  /// `core` (also `failed_assumptions()`) holds a subset of the assumptions
+  /// whose conjunction with the formula is already unsatisfiable (the
+  /// "failed core"; empty when the formula is unsatisfiable on its own).
+  /// The solver can be re-invoked with different assumptions without
+  /// reloading.
   SolveOutcome solve_with_assumptions(std::span<const Lit> assumptions);
+
+  /// Adds a clause between queries (legal only in the ADDING state). The
+  /// engine backtracks to root, folds in root-level assignments, and
+  /// dedupes/tautology-checks the literals; propagation to fixpoint happens
+  /// at the next solve(). Returns false once the formula is root-level
+  /// inconsistent (like MiniSat's addClause). Literals must range over the
+  /// loaded formula's variables. Not supported while a DRAT tracer is
+  /// attached: clauses added after load are not part of the traced input.
+  bool add_clause(std::span<const Lit> lits);
+
+  /// Sets the per-query budgets applied to subsequent solve() calls.
+  void set_budget(const Budget& b) { budget_ = b; }
+  const Budget& budget() const { return budget_; }
+
+  /// Requests that the current (or next) solve() stop at the next budget
+  /// checkpoint with kUnknown / StopReason::kInterrupted. Safe to call from
+  /// another thread; sticky until clear_interrupt() (MiniSat semantics).
+  void interrupt() { interrupted_.store(true, std::memory_order_relaxed); }
+  void clear_interrupt() {
+    interrupted_.store(false, std::memory_order_relaxed);
+  }
+  bool interrupted() const {
+    return interrupted_.load(std::memory_order_relaxed);
+  }
+
+  /// Forces a compacting clause-arena collection now (legal only in the
+  /// ADDING state): compacts the ClauseDb, remaps trail reasons and the
+  /// learned list, and rewrites the watch lists in place (order-preserving,
+  /// so the search trajectory is unaffected). With `gc_frac > 0` the solver
+  /// triggers this automatically once the dead fraction of the arena
+  /// reaches the threshold; forcing it is for tests and memory pressure.
+  void garbage_collect();
+
+  /// Current lifecycle state.
+  EngineState state() const { return state_; }
 
   /// Failed core of the last kUnsat solve_with_assumptions() call.
   const std::vector<Lit>& failed_assumptions() const {
     return failed_assumptions_;
   }
 
-  /// Counters of the last (or in-progress) run.
+  /// Lifetime counters, accumulated across all queries since load(). Note
+  /// `max_trail` here is the watermark of the *current* query (it re-arms
+  /// at each query begin); the lifetime peak is `lifetime_max_trail()`.
   const Statistics& stats() const { return ctx_.stats; }
+
+  /// Highest trail the engine ever reached since load(), across queries.
+  std::uint64_t lifetime_max_trail() const {
+    return std::max(lifetime_max_trail_, ctx_.stats.max_trail);
+  }
 
   /// Per-variable propagation counts since the last clause-DB reduction
   /// (the f_v of Eq. 2). Whole-run histograms are collected by attaching a
@@ -131,6 +200,20 @@ class Solver {
   void backtrack(std::uint32_t target_level);
   Model extract_model() const;
 
+  /// The common query epilogue (every solve() exit path): fills in the
+  /// core, computes the per-query stats delta, snapshots the new baseline,
+  /// returns to ADDING, and fires on_solve_end.
+  SolveOutcome finish_query(SolveOutcome out);
+
+  /// First matching stop condition for the current query: interrupt, then
+  /// lifetime limits (options_.max_*, cumulative), then per-query budgets
+  /// (budget_, relative to the query baseline). kNone when search may
+  /// continue.
+  StopReason stop_reason() const;
+
+  /// Runs a compaction + full reference remap + GC-boundary audit.
+  void garbage_collect_now(const char* where);
+
   /// Rebuilds ctx_.listener from the user listener and, at NS_CHECK >= 2,
   /// the engine audit listener (audit first, then the user's).
   void wire_listener();
@@ -156,6 +239,11 @@ class Solver {
 
   // incremental solving
   std::vector<Lit> failed_assumptions_;
+  Budget budget_;                        ///< per-query limits (sticky)
+  std::atomic<bool> interrupted_{false}; ///< sticky until clear_interrupt()
+  Statistics query_base_;   ///< stats snapshot at the previous query's end
+  std::uint64_t lifetime_max_trail_ = 0;  ///< peak of finished queries
+  EngineState state_ = EngineState::kAdding;
 };
 
 /// Convenience: solve `formula` with `options`, returning the outcome.

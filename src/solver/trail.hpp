@@ -25,6 +25,7 @@ class Trail {
     trail_.reserve(num_vars);
     lim_.clear();
     qhead = 0;
+    assumption_levels = 0;
   }
 
   // --- per-variable queries ---------------------------------------------
@@ -89,6 +90,13 @@ class Trail {
 
   /// Index of the next literal BCP has not yet propagated.
   std::size_t qhead = 0;
+
+  /// Number of leading decision levels holding the current query's
+  /// assumptions (dummy levels for already-true assumptions included).
+  /// Maintained by the solver: set while asserting assumptions, clamped by
+  /// every backtrack. Restarts unwind to this prefix instead of level 0, so
+  /// assumption assignments survive restarts within one query.
+  std::uint32_t assumption_levels = 0;
 
   /// Mutable internals for ns::audit fault-injection tests only — lets a
   /// test corrupt values/levels/frames in ways no engine path can, to prove

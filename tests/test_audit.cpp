@@ -309,6 +309,65 @@ TEST(ClauseDbAudit, LearnedClauseMissingFromList) {
   EXPECT_TRUE(has_rule(out, "db.learned_refs")) << rules_of(out);
 }
 
+// --- gc relocation rules -----------------------------------------------------
+
+/// A ClauseDb that has just collected: three clauses added, the middle one
+/// marked garbage, then compacted — so the forwarding table holds two live
+/// relocations around one dropped entry.
+struct CollectedRig : Rig {
+  ClauseRef a, b, c;
+  CollectedRig() : Rig(4) {
+    a = ctx.db.add({L(1), L(2), L(3)}, /*learned=*/false, /*glue=*/0);
+    b = ctx.db.add({L(2), L(3), L(4)}, /*learned=*/false, /*glue=*/0);
+    c = ctx.db.add({L(-1), L(-2), L(-4)}, /*learned=*/false, /*glue=*/0);
+    ctx.db.mark_garbage(b);
+    ctx.db.garbage_collect();
+  }
+};
+
+TEST(GcForwardingAudit, FreshCollectionVerifiesClean) {
+  CollectedRig rig;
+  const auto out = check_gc_forwarding(rig.ctx.db);
+  EXPECT_TRUE(out.empty()) << rules_of(out);
+  EXPECT_EQ(rig.ctx.db.forward(rig.a), rig.a);       // first clause kept put
+  EXPECT_EQ(rig.ctx.db.forward(rig.b), kInvalidClause);  // garbage dropped
+  EXPECT_NE(rig.ctx.db.forward(rig.c), kInvalidClause);  // slid down, live
+}
+
+TEST(GcForwardingAudit, NoCollectionMeansNoTable) {
+  Rig rig(3);
+  rig.add_clause({1, 2, 3});
+  const auto out = check_gc_forwarding(rig.ctx.db);
+  EXPECT_TRUE(has_rule(out, "gc.forwarding")) << rules_of(out);
+}
+
+TEST(GcForwardingAudit, DanglingForwardTarget) {
+  CollectedRig rig;
+  // Point the relocated clause into the middle of another clause's words.
+  rig.ctx.db.debug_forwarding()[rig.c] = rig.a + 1;
+  const auto out = check_gc_forwarding(rig.ctx.db);
+  EXPECT_TRUE(has_rule(out, "gc.forwarding")) << rules_of(out);
+}
+
+TEST(GcForwardingAudit, NonMonotoneRelocation) {
+  CollectedRig rig;
+  // Swap the two live targets: relocation order no longer preserves
+  // ref order, which would silently reorder ref-based tie-breaks.
+  std::swap(rig.ctx.db.debug_forwarding()[rig.a],
+            rig.ctx.db.debug_forwarding()[rig.c]);
+  const auto out = check_gc_forwarding(rig.ctx.db);
+  EXPECT_TRUE(has_rule(out, "gc.forwarding")) << rules_of(out);
+}
+
+TEST(GcForwardingAudit, DroppedLiveClauseBreaksCount) {
+  CollectedRig rig;
+  // Forget a live clause's relocation: table claims fewer survivors than
+  // the compacted arena actually holds.
+  rig.ctx.db.debug_forwarding()[rig.c] = kInvalidClause;
+  const auto out = check_gc_forwarding(rig.ctx.db);
+  EXPECT_TRUE(has_rule(out, "gc.live_count")) << rules_of(out);
+}
+
 // --- decider rules -----------------------------------------------------------
 
 TEST(DeciderAudit, EvsidsHeapPropertyBroken) {

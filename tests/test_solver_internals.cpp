@@ -73,7 +73,7 @@ TEST(ClauseDbTest, CollectGarbageCompactsAndForwards) {
   const ClauseRef c = db.add(lits({-1, -4}), true, 2);
   db.mark_garbage(b);
   const std::size_t words_before = db.arena_words();
-  db.collect_garbage();
+  db.garbage_collect();
   EXPECT_LT(db.arena_words(), words_before);
   EXPECT_EQ(db.garbage_words(), 0u);
 
@@ -150,7 +150,7 @@ TEST(ClauseDbTest, CollectGarbageSqueezesShrinkSlack) {
   const ClauseRef a = db.add(lits({1, 2, 3, 4, 5, 6}), false, 0);
   const ClauseRef b = db.add(lits({-5, -6}), true, 3);
   db.shrink(a, 3);
-  db.collect_garbage();
+  db.garbage_collect();
   EXPECT_EQ(db.garbage_words(), 0u);
   const ClauseRef a2 = db.forward(a);
   const ClauseRef b2 = db.forward(b);
@@ -170,7 +170,7 @@ TEST(ClauseDbTest, MarkGarbageAfterShrinkCountsOnlyLiveWords) {
   db.shrink(r, 2);                    // 2 words of slack
   db.mark_garbage(r);                 // header + 2 live literals
   EXPECT_EQ(db.garbage_words(), 2u + ClauseDb::kHeaderWords + 2u);
-  db.collect_garbage();
+  db.garbage_collect();
   EXPECT_EQ(db.arena_words(), 0u);
   EXPECT_EQ(db.garbage_words(), 0u);
 }

@@ -6,8 +6,18 @@
 ///     --policy default|frequency   clause-deletion policy (default: default)
 ///     --alpha <f>                  Eq. 2 threshold for the frequency policy
 ///     --proof <file>               write a DRAT proof (UNSAT certificates)
-///     --max-conflicts <n>          conflict budget (0 = unlimited)
-///     --max-propagations <n>       propagation budget (0 = unlimited)
+///     --assume "l1 l2 ..."         solve under these assumptions (DIMACS
+///                                  literals; repeatable, sets accumulate).
+///                                  On UNSAT the failed assumption core is
+///                                  printed as a "c core" line
+///     --budget-conflicts <n>       per-query conflict budget (0 = unlimited)
+///     --budget-propagations <n>    per-query propagation budget
+///     --budget-ticks <n>           per-query tick budget
+///     --gc-frac <f>                deferred clause-DB garbage collection
+///                                  once the dead arena fraction reaches f
+///                                  (0 = eager collection at each reduce)
+///     --max-conflicts <n>          lifetime conflict budget (0 = unlimited)
+///     --max-propagations <n>       lifetime propagation budget (0 = unlimited)
 ///     --preprocess                 root-level simplification before search
 ///     --vmtf                       use VMTF decisions instead of EVSIDS
 ///     --luby                       use Luby restarts instead of Glucose EMA
@@ -22,7 +32,8 @@
 ///
 /// Output follows SAT-competition conventions: a "s SATISFIABLE" /
 /// "s UNSATISFIABLE" / "s UNKNOWN" status line, "v" model lines on SAT,
-/// and "c" comment lines with statistics. Exit code: 10 SAT, 20 UNSAT,
+/// and "c" comment lines with statistics. On UNKNOWN the JSON stats carry
+/// a "why" field naming the exhausted budget. Exit code: 10 SAT, 20 UNSAT,
 /// 0 unknown, 1 usage/parse error.
 
 #include <cstdio>
@@ -30,7 +41,9 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "audit/solver_audit.hpp"
 #include "cnf/dimacs.hpp"
@@ -39,10 +52,14 @@
 
 namespace {
 
+using ns::Lit;
+
 void usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--policy default|frequency] [--alpha f] [--preprocess] "
-               "[--proof file] [--max-conflicts n] [--max-propagations n] "
+               "[--proof file] [--assume \"l1 l2 ...\"] [--budget-conflicts n] "
+               "[--budget-propagations n] [--budget-ticks n] [--gc-frac f] "
+               "[--max-conflicts n] [--max-propagations n] "
                "[--vmtf] [--luby] [--stats-json file] [--audit] [--progress] "
                "[--quiet] <input.cnf>\n",
                prog);
@@ -75,12 +92,24 @@ const char* result_name(ns::solver::SatResult r) {
 }
 
 void write_stats_json(std::FILE* f, const ns::solver::SatResult result,
-                      const ns::solver::Statistics& s) {
+                      const ns::solver::Statistics& s,
+                      ns::solver::StopReason why = ns::solver::StopReason::kNone,
+                      const std::vector<Lit>* core = nullptr) {
   const auto field = [&](const char* name, std::uint64_t v, bool last = false) {
     std::fprintf(f, "  \"%s\": %llu%s\n", name,
                  static_cast<unsigned long long>(v), last ? "" : ",");
   };
   std::fprintf(f, "{\n  \"result\": \"%s\",\n", result_name(result));
+  std::fprintf(f, "  \"why\": \"%s\",\n", ns::solver::stop_reason_name(why));
+  if (core != nullptr) {
+    std::fprintf(f, "  \"core\": [");
+    for (std::size_t i = 0; i < core->size(); ++i) {
+      std::fprintf(f, "%s%d", i ? ", " : "", (*core)[i].to_dimacs());
+    }
+    std::fprintf(f, "],\n");
+  }
+  field("queries", s.queries);
+  field("garbage_collections", s.garbage_collections);
   field("decisions", s.decisions);
   field("propagations", s.propagations);
   field("propagations_binary", s.propagations_binary);
@@ -107,6 +136,8 @@ void write_stats_json(std::FILE* f, const ns::solver::SatResult result,
 
 int main(int argc, char** argv) {
   ns::solver::SolverOptions options;
+  ns::solver::Solver::Budget budget;
+  std::vector<Lit> assumptions;
   std::string input_path;
   std::string proof_path;
   std::string stats_json_path;
@@ -129,6 +160,25 @@ int main(int argc, char** argv) {
       options.frequency_alpha = std::atof(next());
     } else if (arg == "--proof") {
       proof_path = next();
+    } else if (arg == "--assume") {
+      std::istringstream in(next());
+      int dimacs = 0;
+      while (in >> dimacs) {
+        if (dimacs == 0) continue;  // tolerate a trailing DIMACS terminator
+        assumptions.push_back(Lit::from_dimacs(dimacs));
+      }
+      if (!in.eof()) {
+        std::fprintf(stderr, "cannot parse --assume literals\n");
+        return 1;
+      }
+    } else if (arg == "--budget-conflicts") {
+      budget.conflicts = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--budget-propagations") {
+      budget.propagations = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--budget-ticks") {
+      budget.ticks = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--gc-frac") {
+      options.gc_frac = std::atof(next());
     } else if (arg == "--max-conflicts") {
       options.max_conflicts = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--max-propagations") {
@@ -187,9 +237,18 @@ int main(int argc, char** argv) {
   std::ofstream proof_stream;
   ns::solver::DratTextWriter proof_writer(proof_stream);
 
+  for (const Lit a : assumptions) {
+    if (a.var() >= parsed.formula.num_vars()) {
+      std::fprintf(stderr, "c --assume literal %d is out of range\n",
+                   a.to_dimacs());
+      return 1;
+    }
+  }
+
   ns::solver::SolveOutcome out;
   try {
     solver.load(parsed.formula);
+    solver.set_budget(budget);
     if (!proof_path.empty()) {
       proof_stream.open(proof_path);
       if (!proof_stream) {
@@ -199,7 +258,7 @@ int main(int argc, char** argv) {
       }
       solver.set_proof_tracer(&proof_writer);
     }
-    out = solver.solve();
+    out = solver.solve(assumptions);
     if (audit) {
       // Final boundary audit, independent of how the search ended.
       ns::audit::check_engine_or_throw(solver.context(), solver.propagator(),
@@ -233,7 +292,8 @@ int main(int argc, char** argv) {
                    stats_json_path.c_str());
       return 1;
     }
-    write_stats_json(jf, out.result, out.stats);
+    write_stats_json(jf, out.result, out.stats, out.why,
+                     assumptions.empty() ? nullptr : &out.core);
     if (jf != stdout) std::fclose(jf);
   }
   switch (out.result) {
@@ -249,9 +309,18 @@ int main(int argc, char** argv) {
       return 10;
     }
     case ns::solver::SatResult::kUnsat:
+      if (!assumptions.empty()) {
+        // Failed assumption core: a subset of --assume whose conjunction
+        // with the formula is already unsatisfiable (empty when the
+        // formula is unsatisfiable on its own).
+        std::printf("c core");
+        for (const Lit l : out.core) std::printf(" %d", l.to_dimacs());
+        std::printf(" 0\n");
+      }
       std::printf("s UNSATISFIABLE\n");
       return 20;
     default:
+      std::printf("c stopped: %s\n", ns::solver::stop_reason_name(out.why));
       std::printf("s UNKNOWN\n");
       return 0;
   }
