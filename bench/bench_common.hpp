@@ -9,6 +9,7 @@
 /// pipeline (labelling rule, loss, optimizer, batch size 1) is unchanged.
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -39,24 +40,21 @@ class BenchJson {
   /// Writes `dir`/BENCH_<bench>.json; returns false if the file cannot be
   /// opened. Safe to call repeatedly (rewrites the whole file).
   bool write(const std::string& dir = ".") const {
-    const std::string path = dir + "/BENCH_" + bench_ + ".json";
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return false;
-    std::fprintf(f, "[\n");
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-      const Entry& e = entries_[i];
-      std::fprintf(f,
-                   "  {\"bench\": \"%s\", \"name\": \"%s\", "
-                   "\"threads\": %zu, \"wall_ms\": %.3f",
-                   bench_.c_str(), e.name.c_str(), e.threads, e.wall_ms);
-      if (e.speedup_vs_1t > 0.0) {
-        std::fprintf(f, ", \"speedup_vs_1t\": %.3f", e.speedup_vs_1t);
-      }
-      std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
-    }
-    std::fprintf(f, "]\n");
-    std::fclose(f);
-    return true;
+    return write_file(dir, {}, /*preserved_first=*/false);
+  }
+
+  /// Merge-write for two benches sharing one BENCH file, partitioned by a
+  /// row-name prefix. With `this_bench_owns_prefix`, rows under
+  /// `name_prefix` are this run's to replace and every other existing row
+  /// survives (and is emitted first); otherwise this run owns everything
+  /// *except* the prefix and the prefixed rows survive (emitted last). The
+  /// file stays line-oriented, one row object per line, so the partition
+  /// can be recovered textually.
+  bool write_shared(const std::string& name_prefix, bool this_bench_owns_prefix,
+                    const std::string& dir = ".") const {
+    const std::vector<std::string> preserved =
+        read_rows(dir, name_prefix, /*keep_matching=*/!this_bench_owns_prefix);
+    return write_file(dir, preserved, /*preserved_first=*/this_bench_owns_prefix);
   }
 
  private:
@@ -66,6 +64,72 @@ class BenchJson {
     double wall_ms = 0.0;
     double speedup_vs_1t = 0.0;  ///< 0 when the entry is not a thread sweep
   };
+
+  std::string path_in(const std::string& dir) const {
+    return dir + "/BENCH_" + bench_ + ".json";
+  }
+
+  /// Reads the existing BENCH file and returns the row lines (without the
+  /// array brackets or trailing commas) whose "name" value starts — or with
+  /// `keep_matching == false` does not start — with `name_prefix`.
+  std::vector<std::string> read_rows(const std::string& dir,
+                                     const std::string& name_prefix,
+                                     bool keep_matching) const {
+    std::vector<std::string> rows;
+    std::ifstream in(path_in(dir));
+    if (!in) return rows;
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::size_t key = line.find("\"name\": \"");
+      if (key == std::string::npos) continue;  // "[" / "]" / malformed
+      const bool matches =
+          line.compare(key + 9, name_prefix.size(), name_prefix) == 0;
+      if (matches != keep_matching) continue;
+      while (!line.empty() && (line.back() == ',' || line.back() == ' ')) {
+        line.pop_back();
+      }
+      rows.push_back(line);
+    }
+    return rows;
+  }
+
+  bool write_file(const std::string& dir,
+                  const std::vector<std::string>& preserved,
+                  bool preserved_first) const {
+    std::FILE* f = std::fopen(path_in(dir).c_str(), "w");
+    if (f == nullptr) return false;
+    std::vector<std::string> rows;
+    rows.reserve(entries_.size() + preserved.size());
+    if (preserved_first) rows = preserved;
+    for (const Entry& e : entries_) {
+      char buf[512];
+      int n = std::snprintf(buf, sizeof buf,
+                            "  {\"bench\": \"%s\", \"name\": \"%s\", "
+                            "\"threads\": %zu, \"wall_ms\": %.3f",
+                            bench_.c_str(), e.name.c_str(), e.threads,
+                            e.wall_ms);
+      std::string row(buf, static_cast<std::size_t>(n));
+      if (e.speedup_vs_1t > 0.0) {
+        n = std::snprintf(buf, sizeof buf, ", \"speedup_vs_1t\": %.3f",
+                          e.speedup_vs_1t);
+        row.append(buf, static_cast<std::size_t>(n));
+      }
+      row += '}';
+      rows.push_back(std::move(row));
+    }
+    if (!preserved_first) {
+      rows.insert(rows.end(), preserved.begin(), preserved.end());
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(f, "%s%s\n", rows[i].c_str(),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
+  }
+
   std::string bench_;
   std::vector<Entry> entries_;
 };

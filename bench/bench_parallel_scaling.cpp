@@ -205,7 +205,8 @@ int main() {
   }
 
   ns::runtime::set_global_thread_count(0);  // restore the default
-  if (!json.write()) {
+  // bench_portfolio shares this BENCH file: keep its "portfolio/" rows.
+  if (!json.write_shared("portfolio/", /*this_bench_owns_prefix=*/false)) {
     std::printf("warning: could not write BENCH_parallel_scaling.json\n");
   }
   if (mismatches > 0 || regressions > 0) {

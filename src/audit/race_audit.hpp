@@ -1,0 +1,141 @@
+#pragma once
+/// \file race_audit.hpp
+/// Portfolio-race invariant checker (`audit` is an observer layer, so
+/// including portfolio headers here is legal and adds no DAG edge; the
+/// checker is header-only because ns_audit links only ns_cnf).
+///
+/// Rules (dotted ids, keyed on by fault-injection tests):
+///   race.winner    a decided race names exactly one winner, in range,
+///                  itself decided, uncancelled, why == kNone, and its
+///                  result/ticks match the race-level fields; an undecided
+///                  race names none and no engine claims a decision
+///   race.tiebreak  no decided engine beats the winner on the
+///                  lexicographic (ticks, config id) order
+///   race.loser_stop  cancelled losers are undecided and carry
+///                  StopReason::kInterrupted — the sticky interrupt()
+///                  contract the racer relies on
+///   race.stats     each raced engine's summed per-slice stats deltas
+///                  equal its lifetime tick delta (PR 7's delta_since
+///                  bookkeeping survives slicing)
+///
+/// Checks hold with eager cancellation on or off: they constrain the
+/// winner and the *classification* of losers, not loser timing.
+
+#include <string>
+#include <vector>
+
+#include "audit/audit.hpp"
+#include "portfolio/racer.hpp"
+#include "solver/stats.hpp"
+
+namespace ns::audit {
+
+/// Full invariant sweep over one race outcome. Returns every violation
+/// found (empty = clean); never throws — racer call sites `enforce`.
+inline std::vector<Violation> check_race(const portfolio::RaceResult& race) {
+  std::vector<Violation> out;
+  const bool decided = race.result != solver::SatResult::kUnknown;
+
+  // race.winner — the winner index and its engine record agree with the
+  // race-level result.
+  if (decided) {
+    if (race.winner < 0 ||
+        static_cast<std::size_t>(race.winner) >= race.engines.size()) {
+      out.push_back({"race.winner",
+                     "decided race has out-of-range winner id " +
+                         std::to_string(race.winner),
+                     race.winner});
+    } else {
+      const portfolio::EngineRaceResult& w =
+          race.engines[static_cast<std::size_t>(race.winner)];
+      if (!w.participated || !w.decided || w.cancelled) {
+        out.push_back({"race.winner",
+                       "winner engine is not a participating decided "
+                       "uncancelled lane",
+                       race.winner});
+      }
+      if (w.why != solver::StopReason::kNone || w.result != race.result) {
+        out.push_back({"race.winner",
+                       "winner engine result/why disagree with the race "
+                       "(engine why=" +
+                           std::string(solver::stop_reason_name(w.why)) + ")",
+                       race.winner});
+      }
+      if (w.ticks != race.winner_ticks) {
+        out.push_back({"race.winner",
+                       "winner_ticks " + std::to_string(race.winner_ticks) +
+                           " != winner engine ticks " +
+                           std::to_string(w.ticks),
+                       race.winner});
+      }
+    }
+  } else if (race.winner != -1) {
+    out.push_back({"race.winner",
+                   "undecided race names winner " +
+                       std::to_string(race.winner),
+                   race.winner});
+  }
+
+  std::size_t decided_engines = 0;
+  for (const portfolio::EngineRaceResult& e : race.engines) {
+    const auto idx = static_cast<std::int64_t>(e.config_id);
+    if (e.decided) ++decided_engines;
+
+    if (e.decided && !decided) {
+      out.push_back({"race.winner",
+                     "engine decided but the race result is unknown", idx});
+    }
+
+    // race.tiebreak — lexicographic (ticks, id) minimality of the winner.
+    if (e.decided && decided && race.winner >= 0 &&
+        e.config_id != static_cast<std::uint32_t>(race.winner) &&
+        (e.ticks < race.winner_ticks ||
+         (e.ticks == race.winner_ticks &&
+          e.config_id < static_cast<std::uint32_t>(race.winner)))) {
+      out.push_back({"race.tiebreak",
+                     "engine beats the winner on (ticks, id): (" +
+                         std::to_string(e.ticks) + ", " +
+                         std::to_string(e.config_id) + ") < (" +
+                         std::to_string(race.winner_ticks) + ", " +
+                         std::to_string(race.winner) + ")",
+                     idx});
+    }
+
+    // race.loser_stop — cancellation always surfaces as kInterrupted.
+    if (e.cancelled &&
+        (e.decided || e.why != solver::StopReason::kInterrupted)) {
+      out.push_back({"race.loser_stop",
+                     "cancelled loser is decided or carries why=" +
+                         std::string(solver::stop_reason_name(e.why)),
+                     idx});
+    }
+    if (e.participated && !e.decided && !e.cancelled && decided &&
+        e.why == solver::StopReason::kNone) {
+      out.push_back({"race.loser_stop",
+                     "raced engine left a decided race with no stop reason",
+                     idx});
+    }
+
+    // race.stats — summed slice deltas reproduce the lifetime tick delta.
+    if (e.participated && e.stats.ticks != e.ticks) {
+      out.push_back({"race.stats",
+                     "summed slice deltas (" + std::to_string(e.stats.ticks) +
+                         " ticks) != lifetime race delta (" +
+                         std::to_string(e.ticks) + ")",
+                     idx});
+    }
+    if (!e.participated &&
+        (e.decided || e.cancelled || e.slices != 0 || e.ticks != 0)) {
+      out.push_back({"race.stats",
+                     "non-participating engine reports race activity", idx});
+    }
+  }
+
+  if (decided && decided_engines == 0) {
+    out.push_back({"race.winner",
+                   "race decided but no engine holds a decision", -1});
+  }
+  return out;
+}
+
+}  // namespace ns::audit

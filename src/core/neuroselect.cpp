@@ -1,7 +1,9 @@
 #include "core/neuroselect.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <cmath>
 
 #include "graph/graph.hpp"
 #include "runtime/thread_pool.hpp"
@@ -42,6 +44,167 @@ MedianAvg median_avg(std::vector<double> values) {
 
 }  // namespace
 
+void PortfolioSelector::set_heads(const std::vector<PriorityHead>& heads) {
+  const std::size_t n = std::min(heads.size(), heads_.size());
+  for (std::size_t i = 0; i < n; ++i) heads_[i] = heads[i];
+}
+
+PortfolioSelector::PortfolioSelector(nn::SatClassifier* model,
+                                     std::vector<solver::SolverOptions> configs)
+    : model_(model),
+      configs_(std::move(configs)),
+      heads_(analytic_heads(configs_)) {}
+
+std::vector<PriorityHead> PortfolioSelector::analytic_heads(
+    const std::vector<solver::SolverOptions>& configs) {
+  std::vector<PriorityHead> heads;
+  heads.reserve(configs.size());
+  for (const solver::SolverOptions& o : configs) {
+    // Logit 4p - 2 for frequency-deletion configs, 2 - 4p otherwise: the
+    // paper's p > 0.5 rule, exact (see binary_selection), with head
+    // magnitudes that trained GD can sharpen or flip per config.
+    if (o.deletion_policy == policy::PolicyKind::kFrequency) {
+      heads.push_back({4.0f, 0.0f, -2.0f});
+    } else {
+      heads.push_back({0.0f, 4.0f, -2.0f});
+    }
+  }
+  return heads;
+}
+
+PolicySelection PortfolioSelector::select(const CnfFormula& formula) const {
+  float p = 0.5f;
+  if (model_ != nullptr) {
+    const nn::GraphBatch graph = nn::GraphBatch::build(formula);
+    p = model_->predict_probability(graph);
+  }
+  return select_from_probability(p);
+}
+
+PolicySelection PortfolioSelector::select_from_probability(float p) const {
+  PolicySelection sel;
+  sel.p_frequency = p;
+  const std::array<float, 3> x{p, 1.0f - p, 1.0f};
+  std::vector<float> logits(heads_.size());
+  sel.priority.resize(heads_.size());
+  sel.ranked.resize(heads_.size());
+  for (std::size_t c = 0; c < heads_.size(); ++c) {
+    logits[c] = heads_[c][0] * x[0] + heads_[c][1] * x[1] + heads_[c][2];
+    sel.priority[c] = 1.0f / (1.0f + std::exp(-logits[c]));
+    sel.ranked[c] = static_cast<std::uint32_t>(c);
+  }
+  // Rank by the raw logit, not the sigmoid: monotone-equivalent, but exact
+  // where the sigmoid's float rounding could collapse near ties. stable_sort
+  // keeps ascending id order on exact ties (the racer's tie-break).
+  std::stable_sort(sel.ranked.begin(), sel.ranked.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return logits[a] > logits[b];
+                   });
+  if (!sel.ranked.empty()) sel.primary = sel.ranked.front();
+  return sel;
+}
+
+PolicySelection binary_selection(float p_frequency) {
+  // Config 0 = default deletion, config 1 = frequency deletion. With the
+  // analytic heads the logits are 2 - 4p and 4p - 2; 4p is an exact float
+  // (exponent shift) and 4p - 2 is exact by Sterbenz for p in [0.25, 1],
+  // so primary == 1 exactly when p > 0.5 — the historical threshold.
+  std::vector<solver::SolverOptions> configs(2);
+  configs[1].deletion_policy = policy::PolicyKind::kFrequency;
+  return PortfolioSelector(nullptr, std::move(configs))
+      .select_from_probability(p_frequency);
+}
+
+PortfolioLabel label_portfolio(
+    const CnfFormula& formula,
+    const std::vector<solver::SolverOptions>& configs,
+    std::uint64_t slice_ticks, std::uint64_t max_ticks) {
+  PortfolioLabel label;
+  label.ticks.resize(configs.size(), 0);
+  label.decided.resize(configs.size(), false);
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    solver::Solver engine(configs[c]);
+    engine.load(formula);
+    engine.set_budget({.conflicts = 0, .propagations = 0,
+                       .ticks = slice_ticks});
+    solver::SatResult result = solver::SatResult::kUnknown;
+    for (;;) {
+      const solver::SolveOutcome out = engine.solve();
+      label.ticks[c] = engine.stats().ticks;
+      if (out.result != solver::SatResult::kUnknown) {
+        result = out.result;
+        label.decided[c] = true;
+        break;
+      }
+      if (out.why != solver::StopReason::kTickBudget) break;  // lifetime cap
+      if (max_ticks != 0 && label.ticks[c] >= max_ticks) break;
+    }
+    if (label.decided[c] &&
+        (label.best < 0 ||
+         label.ticks[c] < label.ticks[static_cast<std::size_t>(label.best)])) {
+      // Strict < keeps the lowest id on equal ticks (ascending scan).
+      label.best = static_cast<int>(c);
+      label.result = result;
+    }
+  }
+  return label;
+}
+
+std::vector<PriorityHead> train_priority_heads(
+    nn::SatClassifier* model, const std::vector<gen::NamedInstance>& train,
+    const std::vector<solver::SolverOptions>& configs,
+    const PriorityTrainOptions& options) {
+  std::vector<PriorityHead> heads =
+      PortfolioSelector::analytic_heads(configs);
+  if (train.empty() || configs.empty()) return heads;
+
+  // One deterministic labeling pass: per instance, the classifier
+  // probability and the per-config near-best targets.
+  std::vector<std::array<float, 3>> features(train.size());
+  std::vector<std::vector<float>> targets(train.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    float p = 0.5f;
+    if (model != nullptr) {
+      const nn::GraphBatch graph = nn::GraphBatch::build(train[i].formula);
+      p = model->predict_probability(graph);
+    }
+    features[i] = {p, 1.0f - p, 1.0f};
+    const PortfolioLabel label = label_portfolio(
+        train[i].formula, configs, options.slice_ticks, options.max_ticks);
+    targets[i].resize(configs.size(), 0.0f);
+    if (label.best >= 0) {
+      const double cutoff =
+          static_cast<double>(options.near_best) *
+          static_cast<double>(label.ticks[static_cast<std::size_t>(label.best)]);
+      for (std::size_t c = 0; c < configs.size(); ++c) {
+        if (label.decided[c] && static_cast<double>(label.ticks[c]) <= cutoff) {
+          targets[i][c] = 1.0f;
+        }
+      }
+    }
+  }
+
+  // Full-batch logistic regression per config head (independent problems;
+  // deterministic: fixed epochs, fixed iteration order, no RNG).
+  const float inv_n = 1.0f / static_cast<float>(train.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    PriorityHead& w = heads[c];
+    for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+      std::array<float, 3> grad{0.0f, 0.0f, 0.0f};
+      for (std::size_t i = 0; i < train.size(); ++i) {
+        const std::array<float, 3>& x = features[i];
+        const float logit = w[0] * x[0] + w[1] * x[1] + w[2] * x[2];
+        const float err = 1.0f / (1.0f + std::exp(-logit)) - targets[i][c];
+        for (std::size_t k = 0; k < 3; ++k) grad[k] += err * x[k];
+      }
+      for (std::size_t k = 0; k < 3; ++k) {
+        w[k] -= options.learning_rate * inv_n * grad[k];
+      }
+    }
+  }
+  return heads;
+}
+
 std::vector<float> classify_batch(
     nn::SatClassifier& model,
     const std::vector<const nn::GraphBatch*>& batch) {
@@ -79,7 +242,11 @@ InstanceRun run_instance(nn::SatClassifier* model,
     const auto t1 = std::chrono::steady_clock::now();
     run.inference_seconds =
         std::chrono::duration<double>(t1 - t0).count();
-    if (p > 0.5f) run.chosen = policy::PolicyKind::kFrequency;
+    // The binary decision is the 2-config portfolio selection (config 1 =
+    // frequency); primary == 1 is bit-equivalent to the old p > 0.5 rule.
+    if (binary_selection(p).primary == 1) {
+      run.chosen = policy::PolicyKind::kFrequency;
+    }
   }
 
   if (run.chosen == policy::PolicyKind::kDefault) {

@@ -1,0 +1,64 @@
+#pragma once
+/// \file engine_config.hpp
+/// The portfolio's engine-configuration registry: a small ordered catalog
+/// of `SolverOptions` variants (deletion policy, restart schedule, decision
+/// heuristic, GC cadence) that a `PortfolioRacer` races against each other
+/// on one instance.
+///
+/// Config ids are registry indices and are load-bearing: the racer breaks
+/// tick-count ties by lowest id, so the registry order *is* the
+/// deterministic priority of otherwise equally fast engines. Build
+/// portfolios accordingly — put the configuration you would run standalone
+/// at id 0 (it doubles as `single_best()`).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "solver/options.hpp"
+
+namespace ns::portfolio {
+
+/// One raceable engine configuration.
+struct EngineConfig {
+  std::uint32_t id = 0;           ///< registry index; racer tie-break key
+  std::string name;               ///< stable label for JSON/bench rows
+  solver::SolverOptions options;  ///< full engine knob set
+};
+
+/// Ordered, append-only catalog of engine configurations.
+class EngineConfigRegistry {
+ public:
+  EngineConfigRegistry() = default;
+
+  /// Appends a configuration; its id is the current size.
+  std::uint32_t add(std::string name, solver::SolverOptions options);
+
+  /// The stock K-way portfolio used by the tool and benches: diverse
+  /// restart/decision/deletion/GC variants layered over `base`, ordered so
+  /// that prefixes stay sensible (id 0 = the default engine, id 1 = the
+  /// paper's frequency policy, then restart/decider variants). `k` clamps
+  /// to the catalog size (6).
+  static EngineConfigRegistry default_portfolio(
+      std::size_t k = 6, const solver::SolverOptions& base = {});
+
+  std::size_t size() const { return configs_.size(); }
+  bool empty() const { return configs_.empty(); }
+  const EngineConfig& operator[](std::size_t i) const { return configs_[i]; }
+  const std::vector<EngineConfig>& configs() const { return configs_; }
+
+  /// Plain options list (same order as ids) for layers below `portfolio`
+  /// that rank configurations without seeing portfolio types
+  /// (core::PortfolioSelector).
+  std::vector<solver::SolverOptions> options_list() const;
+
+  /// The configuration to run when racing is off: id 0, the registry's
+  /// standalone-default engine (`default_portfolio` puts the plain
+  /// EVSIDS + Glucose-EMA + default-deletion engine there).
+  std::uint32_t single_best() const { return 0; }
+
+ private:
+  std::vector<EngineConfig> configs_;
+};
+
+}  // namespace ns::portfolio

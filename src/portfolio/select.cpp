@@ -1,0 +1,53 @@
+#include "portfolio/select.hpp"
+
+#include <algorithm>
+
+namespace ns::portfolio {
+
+const char* select_mode_name(SelectMode mode) {
+  switch (mode) {
+    case SelectMode::kClassifier:
+      return "classifier";
+    case SelectMode::kFixed:
+      return "fixed";
+    case SelectMode::kSingleBest:
+      return "single-best";
+  }
+  return "fixed";
+}
+
+SelectionPlan plan_race(SelectMode mode, nn::SatClassifier* model,
+                        const EngineConfigRegistry& registry,
+                        const CnfFormula& formula, std::size_t subset_size,
+                        const std::vector<core::PriorityHead>& heads) {
+  SelectionPlan plan;
+  plan.mode = mode;
+  if (registry.empty()) return plan;
+
+  switch (mode) {
+    case SelectMode::kSingleBest:
+      plan.subset_ids.push_back(registry.single_best());
+      return plan;
+    case SelectMode::kFixed:
+      plan.subset_ids.resize(registry.size());
+      for (std::size_t i = 0; i < registry.size(); ++i) {
+        plan.subset_ids[i] = registry[i].id;
+      }
+      return plan;
+    case SelectMode::kClassifier:
+      break;
+  }
+
+  core::PortfolioSelector selector(model, registry.options_list());
+  if (!heads.empty()) selector.set_heads(heads);
+  plan.selection = selector.select(formula);
+  std::size_t keep = subset_size != 0 ? subset_size
+                                      : (registry.size() + 1) / 2;
+  keep = std::min(keep, plan.selection.ranked.size());
+  plan.subset_ids.assign(plan.selection.ranked.begin(),
+                         plan.selection.ranked.begin() +
+                             static_cast<std::ptrdiff_t>(keep));
+  return plan;
+}
+
+}  // namespace ns::portfolio

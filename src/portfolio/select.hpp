@@ -1,0 +1,49 @@
+#pragma once
+/// \file select.hpp
+/// Classifier-guided race planning: glue between the registry (this layer)
+/// and `core::PortfolioSelector` (which ranks plain `SolverOptions` lists
+/// without seeing portfolio types). A `SelectionPlan` is "which config ids
+/// to race, in what priority" — feed `subset_ids` to
+/// `PortfolioRacer::race_subset`.
+
+#include <cstdint>
+#include <vector>
+
+#include "cnf/formula.hpp"
+#include "core/neuroselect.hpp"
+#include "portfolio/engine_config.hpp"
+
+namespace ns::portfolio {
+
+/// How to choose the raced subset.
+enum class SelectMode {
+  kClassifier,  ///< rank with core::PortfolioSelector, race the top slice
+  kFixed,       ///< race every config (no model)
+  kSingleBest,  ///< run only registry.single_best() (no racing)
+};
+
+/// Stable lowercase identifier for CLI flags / JSON / bench rows.
+const char* select_mode_name(SelectMode mode);
+
+/// One planned race.
+struct SelectionPlan {
+  SelectMode mode = SelectMode::kFixed;
+  core::PolicySelection selection;         ///< full ranking (kClassifier)
+  std::vector<std::uint32_t> subset_ids;   ///< config ids to race, best first
+};
+
+/// Plans a race over `registry` for `formula`.
+///
+/// kClassifier ranks all configs from one inference (`model` may be null —
+/// the analytic heads then rank from p = 0.5) and keeps the top
+/// `subset_size` ids (0 = half the registry, rounded up — the racing
+/// sweet spot: diverse enough to hedge, small enough to beat the fixed
+/// portfolio on total work). kFixed ignores the model and keeps every id;
+/// kSingleBest keeps only `registry.single_best()`. Pass trained heads via
+/// `heads` (empty = analytic defaults).
+SelectionPlan plan_race(SelectMode mode, nn::SatClassifier* model,
+                        const EngineConfigRegistry& registry,
+                        const CnfFormula& formula, std::size_t subset_size = 0,
+                        const std::vector<core::PriorityHead>& heads = {});
+
+}  // namespace ns::portfolio

@@ -55,6 +55,7 @@ void Solver::reset(std::size_t num_vars) {
   failed_assumptions_.clear();
   query_base_ = Statistics{};
   lifetime_max_trail_ = 0;
+  tick_watermark_.store(0, std::memory_order_relaxed);
   state_ = EngineState::kAdding;
   // budget_ and the interrupt flag deliberately survive a reload (MiniSat
   // semantics: budgets apply until changed, interrupts until cleared).
@@ -197,6 +198,9 @@ void Solver::garbage_collect_now(const char* where) {
 
 StopReason Solver::stop_reason() const {
   const Statistics& s = ctx_.stats;
+  // Refresh the cross-thread progress probe (monotone: ticks never shrink
+  // within a load, and stop_reason is only called while solving).
+  tick_watermark_.store(s.ticks, std::memory_order_relaxed);
   if (interrupted_.load(std::memory_order_relaxed)) {
     return StopReason::kInterrupted;
   }
@@ -221,6 +225,9 @@ StopReason Solver::stop_reason() const {
 SolveOutcome Solver::finish_query(SolveOutcome out) {
   out.core = failed_assumptions_;
   out.stats = ctx_.stats.delta_since(query_base_);
+  // Between queries the probe is exact, so racers can settle tie-breaks
+  // against the true per-query tick count.
+  tick_watermark_.store(ctx_.stats.ticks, std::memory_order_relaxed);
   query_base_ = ctx_.stats;
   state_ = EngineState::kAdding;
   if (ctx_.listener != nullptr) {

@@ -128,12 +128,32 @@ class Solver {
   /// Requests that the current (or next) solve() stop at the next budget
   /// checkpoint with kUnknown / StopReason::kInterrupted. Safe to call from
   /// another thread; sticky until clear_interrupt() (MiniSat semantics).
+  ///
+  /// Racing contract (see DESIGN.md §15): the flag is a plain relaxed
+  /// atomic, so it is safe in every engine state — before load(), before
+  /// the first solve() after load (the query returns immediately with
+  /// kInterrupted), and concurrent with deferred clause-arena GC (the
+  /// collector never reads the flag; the next stop_reason() checkpoint
+  /// after the collection observes it). A cancelled query's outcome always
+  /// carries `SolveOutcome::why == StopReason::kInterrupted`.
   void interrupt() { interrupted_.store(true, std::memory_order_relaxed); }
   void clear_interrupt() {
     interrupted_.store(false, std::memory_order_relaxed);
   }
   bool interrupted() const {
     return interrupted_.load(std::memory_order_relaxed);
+  }
+
+  /// Cross-thread progress probe for portfolio racing: a monotone lower
+  /// bound on the engine's lifetime tick counter, refreshed at every budget
+  /// checkpoint (each conflict and each decision) and exact whenever the
+  /// engine is between queries. Readers on other threads use it to prove an
+  /// engine has already passed a rival's finishing tick count — the probe
+  /// only ever under-reports, so such a proof is never wrong. Reset to 0 by
+  /// load(). One relaxed store per checkpoint; unmeasurable on the solve
+  /// hot path.
+  std::uint64_t ticks_observed() const {
+    return tick_watermark_.load(std::memory_order_relaxed);
   }
 
   /// Forces a compacting clause-arena collection now (legal only in the
@@ -241,6 +261,9 @@ class Solver {
   std::vector<Lit> failed_assumptions_;
   Budget budget_;                        ///< per-query limits (sticky)
   std::atomic<bool> interrupted_{false}; ///< sticky until clear_interrupt()
+  /// Monotone cross-thread tick mirror (see ticks_observed()); written by
+  /// the solving thread at budget checkpoints, read by racer monitors.
+  mutable std::atomic<std::uint64_t> tick_watermark_{0};
   Statistics query_base_;   ///< stats snapshot at the previous query's end
   std::uint64_t lifetime_max_trail_ = 0;  ///< peak of finished queries
   EngineState state_ = EngineState::kAdding;

@@ -1,0 +1,4 @@
+#pragma once
+namespace fixture {
+using Lit = int;
+}

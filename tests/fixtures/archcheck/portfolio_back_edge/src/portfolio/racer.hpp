@@ -1,0 +1,8 @@
+#pragma once
+#include "cnf/types.hpp"  // declared: portfolio -> cnf
+
+namespace fixture {
+struct Racer {
+  Lit tie_break = 0;
+};
+}  // namespace fixture

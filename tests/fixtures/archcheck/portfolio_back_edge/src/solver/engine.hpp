@@ -1,0 +1,10 @@
+#pragma once
+#include "cnf/types.hpp"       // declared: solver -> cnf
+#include "portfolio/racer.hpp"  // SEEDED VIOLATION: solver -> portfolio back edge
+
+namespace fixture {
+struct Engine {
+  Lit decision = 0;
+  Racer* race = nullptr;  // the illegal upward dependency in use
+};
+}  // namespace fixture

@@ -21,8 +21,24 @@
 ///     --preprocess                 root-level simplification before search
 ///     --vmtf                       use VMTF decisions instead of EVSIDS
 ///     --luby                       use Luby restarts instead of Glucose EMA
+///     --portfolio <k>              race k engine configurations (the stock
+///                                  portfolio over the base options) with
+///                                  deterministic first-winner cancellation;
+///                                  --budget-ticks becomes the per-engine
+///                                  race cap. Incompatible with --proof
+///     --portfolio-select <mode>    classifier | fixed | single-best: race
+///                                  the classifier-ranked subset, the whole
+///                                  portfolio, or only config 0
+///     --portfolio-slice <n>        racer tick-slice size (default 20000)
+///     --model <file>               classifier parameters for
+///                                  --portfolio-select classifier (untrained
+///                                  analytic ranking when omitted)
 ///     --stats-json <file>          write the full counter set as JSON
-///                                  ("-" for stdout)
+///                                  ("-" for stdout); when racing, a
+///                                  "portfolio" object nests winner id,
+///                                  rounds, and one per-engine entry
+///                                  (config, stop reason, tick count, full
+///                                  per-race counters)
 ///     --audit                      run level-1 invariant audits during the
 ///                                  search (any build, incl. NS_CHECK=0);
 ///                                  a violation prints the broken invariant,
@@ -45,8 +61,13 @@
 #include <string>
 #include <vector>
 
+#include "audit/race_audit.hpp"
 #include "audit/solver_audit.hpp"
 #include "cnf/dimacs.hpp"
+#include "nn/models.hpp"
+#include "nn/serialize.hpp"
+#include "portfolio/racer.hpp"
+#include "portfolio/select.hpp"
 #include "solver/proof.hpp"
 #include "solver/solver.hpp"
 
@@ -60,7 +81,10 @@ void usage(const char* prog) {
                "[--proof file] [--assume \"l1 l2 ...\"] [--budget-conflicts n] "
                "[--budget-propagations n] [--budget-ticks n] [--gc-frac f] "
                "[--max-conflicts n] [--max-propagations n] "
-               "[--vmtf] [--luby] [--stats-json file] [--audit] [--progress] "
+               "[--vmtf] [--luby] [--portfolio k] "
+               "[--portfolio-select classifier|fixed|single-best] "
+               "[--portfolio-slice n] [--model file] "
+               "[--stats-json file] [--audit] [--progress] "
                "[--quiet] <input.cnf>\n",
                prog);
 }
@@ -91,23 +115,13 @@ const char* result_name(ns::solver::SatResult r) {
   }
 }
 
-void write_stats_json(std::FILE* f, const ns::solver::SatResult result,
-                      const ns::solver::Statistics& s,
-                      ns::solver::StopReason why = ns::solver::StopReason::kNone,
-                      const std::vector<Lit>* core = nullptr) {
-  const auto field = [&](const char* name, std::uint64_t v, bool last = false) {
-    std::fprintf(f, "  \"%s\": %llu%s\n", name,
-                 static_cast<unsigned long long>(v), last ? "" : ",");
+/// The counter block shared by the aggregate and per-engine JSON views.
+void write_counter_fields(std::FILE* f, const ns::solver::Statistics& s,
+                          const char* indent) {
+  const auto field = [&](const char* name, std::uint64_t v) {
+    std::fprintf(f, "%s\"%s\": %llu,\n", indent, name,
+                 static_cast<unsigned long long>(v));
   };
-  std::fprintf(f, "{\n  \"result\": \"%s\",\n", result_name(result));
-  std::fprintf(f, "  \"why\": \"%s\",\n", ns::solver::stop_reason_name(why));
-  if (core != nullptr) {
-    std::fprintf(f, "  \"core\": [");
-    for (std::size_t i = 0; i < core->size(); ++i) {
-      std::fprintf(f, "%s%d", i ? ", " : "", (*core)[i].to_dimacs());
-    }
-    std::fprintf(f, "],\n");
-  }
   field("queries", s.queries);
   field("garbage_collections", s.garbage_collections);
   field("decisions", s.decisions);
@@ -129,7 +143,75 @@ void write_stats_json(std::FILE* f, const ns::solver::SatResult result,
   field("deleted_clauses", s.deleted_clauses);
   field("minimized_literals", s.minimized_literals);
   field("max_trail", s.max_trail);
-  std::fprintf(f, "  \"proxy_seconds\": %.6f\n}\n", s.proxy_seconds());
+  std::fprintf(f, "%s\"proxy_seconds\": %.6f\n", indent, s.proxy_seconds());
+}
+
+void write_stats_json(std::FILE* f, const ns::solver::SatResult result,
+                      const ns::solver::Statistics& s,
+                      ns::solver::StopReason why = ns::solver::StopReason::kNone,
+                      const std::vector<Lit>* core = nullptr) {
+  std::fprintf(f, "{\n  \"result\": \"%s\",\n", result_name(result));
+  std::fprintf(f, "  \"why\": \"%s\",\n", ns::solver::stop_reason_name(why));
+  if (core != nullptr) {
+    std::fprintf(f, "  \"core\": [");
+    for (std::size_t i = 0; i < core->size(); ++i) {
+      std::fprintf(f, "%s%d", i ? ", " : "", (*core)[i].to_dimacs());
+    }
+    std::fprintf(f, "],\n");
+  }
+  write_counter_fields(f, s, "  ");
+  std::fprintf(f, "}\n");
+}
+
+/// Race view: the aggregate result plus a "portfolio" object with one
+/// nested entry per engine (winner id and per-config tick counts included).
+void write_race_json(std::FILE* f, const ns::portfolio::PortfolioRacer& racer,
+                     const ns::portfolio::RaceResult& race,
+                     const char* mode_name,
+                     const std::vector<Lit>* core) {
+  std::fprintf(f, "{\n  \"result\": \"%s\",\n", result_name(race.result));
+  std::fprintf(f, "  \"why\": \"%s\",\n",
+               ns::solver::stop_reason_name(race.why));
+  if (core != nullptr) {
+    std::fprintf(f, "  \"core\": [");
+    for (std::size_t i = 0; i < core->size(); ++i) {
+      std::fprintf(f, "%s%d", i ? ", " : "", (*core)[i].to_dimacs());
+    }
+    std::fprintf(f, "],\n");
+  }
+  std::fprintf(f, "  \"portfolio\": {\n");
+  std::fprintf(f, "    \"mode\": \"%s\",\n", mode_name);
+  std::fprintf(f, "    \"k\": %zu,\n", racer.size());
+  std::fprintf(f, "    \"winner\": %d,\n", race.winner);
+  std::fprintf(f, "    \"winner_ticks\": %llu,\n",
+               static_cast<unsigned long long>(race.winner_ticks));
+  std::fprintf(f, "    \"rounds\": %llu,\n",
+               static_cast<unsigned long long>(race.rounds));
+  std::fprintf(f, "    \"engines\": [\n");
+  for (std::size_t i = 0; i < race.engines.size(); ++i) {
+    const ns::portfolio::EngineRaceResult& e = race.engines[i];
+    std::fprintf(f, "      {\n");
+    std::fprintf(f, "        \"id\": %u,\n", e.config_id);
+    std::fprintf(f, "        \"name\": \"%s\",\n",
+                 racer.registry()[i].name.c_str());
+    std::fprintf(f, "        \"participated\": %s,\n",
+                 e.participated ? "true" : "false");
+    std::fprintf(f, "        \"decided\": %s,\n",
+                 e.decided ? "true" : "false");
+    std::fprintf(f, "        \"cancelled\": %s,\n",
+                 e.cancelled ? "true" : "false");
+    std::fprintf(f, "        \"why\": \"%s\",\n",
+                 ns::solver::stop_reason_name(e.why));
+    std::fprintf(f, "        \"ticks\": %llu,\n",
+                 static_cast<unsigned long long>(e.ticks));
+    std::fprintf(f, "        \"slices\": %llu,\n",
+                 static_cast<unsigned long long>(e.slices));
+    std::fprintf(f, "        \"stats\": {\n");
+    write_counter_fields(f, e.stats, "          ");
+    std::fprintf(f, "        }\n");
+    std::fprintf(f, "      }%s\n", i + 1 < race.engines.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  }\n}\n");
 }
 
 }  // namespace
@@ -144,6 +226,10 @@ int main(int argc, char** argv) {
   bool audit = false;
   bool progress = false;
   bool quiet = false;
+  std::size_t portfolio_k = 0;
+  ns::portfolio::SelectMode portfolio_mode = ns::portfolio::SelectMode::kFixed;
+  std::uint64_t portfolio_slice = 20'000;
+  std::string model_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -189,6 +275,25 @@ int main(int argc, char** argv) {
       options.decision_mode = ns::solver::DecisionMode::kVmtf;
     } else if (arg == "--luby") {
       options.restart_mode = ns::solver::RestartMode::kLuby;
+    } else if (arg == "--portfolio") {
+      portfolio_k = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--portfolio-select") {
+      const std::string mode = next();
+      if (mode == "classifier") {
+        portfolio_mode = ns::portfolio::SelectMode::kClassifier;
+      } else if (mode == "fixed") {
+        portfolio_mode = ns::portfolio::SelectMode::kFixed;
+      } else if (mode == "single-best") {
+        portfolio_mode = ns::portfolio::SelectMode::kSingleBest;
+      } else {
+        std::fprintf(stderr, "unknown --portfolio-select mode: %s\n",
+                     mode.c_str());
+        return 1;
+      }
+    } else if (arg == "--portfolio-slice") {
+      portfolio_slice = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--model") {
+      model_path = next();
     } else if (arg == "--stats-json") {
       stats_json_path = next();
     } else if (arg == "--audit") {
@@ -220,6 +325,113 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("c %s\n", parsed.formula.summary().c_str());
+
+  if (portfolio_k > 0) {
+    if (!proof_path.empty()) {
+      std::fprintf(stderr,
+                   "c --proof is incompatible with --portfolio (only the "
+                   "single-engine path traces DRAT)\n");
+      return 1;
+    }
+    for (const Lit a : assumptions) {
+      if (a.var() >= parsed.formula.num_vars()) {
+        std::fprintf(stderr, "c --assume literal %d is out of range\n",
+                     a.to_dimacs());
+        return 1;
+      }
+    }
+    std::unique_ptr<ns::nn::NeuroSelectModel> model;
+    if (!model_path.empty()) {
+      model = std::make_unique<ns::nn::NeuroSelectModel>();
+      if (!ns::nn::load_parameters(*model, model_path)) {
+        std::fprintf(stderr, "c cannot load model parameters from %s\n",
+                     model_path.c_str());
+        return 1;
+      }
+    }
+
+    const ns::portfolio::EngineConfigRegistry registry =
+        ns::portfolio::EngineConfigRegistry::default_portfolio(portfolio_k,
+                                                               options);
+    ns::portfolio::RacerOptions racer_options;
+    racer_options.slice_ticks = portfolio_slice;
+    racer_options.max_ticks = budget.ticks;  // per-engine race cap
+    ns::portfolio::PortfolioRacer racer(registry, racer_options);
+
+    ns::portfolio::RaceResult race;
+    const char* mode_name = select_mode_name(portfolio_mode);
+    try {
+      const ns::portfolio::SelectionPlan plan = ns::portfolio::plan_race(
+          portfolio_mode, model.get(), registry, parsed.formula);
+      mode_name = select_mode_name(plan.mode);
+      std::printf("c portfolio mode=%s k=%zu racing ids:", mode_name,
+                  registry.size());
+      for (const std::uint32_t id : plan.subset_ids) std::printf(" %u", id);
+      std::printf("\n");
+      racer.load(parsed.formula);
+      race = racer.race_subset(plan.subset_ids, assumptions);
+      if (audit) {
+        // Explicit race audit on any build (incl. NS_CHECK=0), mirroring
+        // the single-engine --audit contract.
+        ns::audit::enforce(ns::audit::check_race(race), "race(--audit)");
+        std::printf("c race invariants clean (--audit)\n");
+      }
+    } catch (const ns::audit::AuditError& e) {
+      std::printf("c AUDIT FAILURE: %s\n", e.what());
+      for (const ns::audit::Violation& v : e.violations()) {
+        std::printf("c   violated invariant %s: %s\n", v.rule.c_str(),
+                    v.message.c_str());
+      }
+      return 1;
+    }
+
+    if (race.winner >= 0) {
+      std::printf("c winner config %d (%s): %llu ticks, %llu rounds\n",
+                  race.winner,
+                  registry[static_cast<std::size_t>(race.winner)].name.c_str(),
+                  static_cast<unsigned long long>(race.winner_ticks),
+                  static_cast<unsigned long long>(race.rounds));
+    }
+    if (!stats_json_path.empty()) {
+      std::FILE* jf = stats_json_path == "-"
+                          ? stdout
+                          : std::fopen(stats_json_path.c_str(), "w");
+      if (jf == nullptr) {
+        std::fprintf(stderr, "c cannot open stats file %s\n",
+                     stats_json_path.c_str());
+        return 1;
+      }
+      write_race_json(jf, racer, race, mode_name,
+                      assumptions.empty() ? nullptr : &race.core);
+      if (jf != stdout) std::fclose(jf);
+    }
+    switch (race.result) {
+      case ns::solver::SatResult::kSat: {
+        std::printf("s SATISFIABLE\n");
+        if (!quiet) {
+          std::printf("v");
+          for (std::size_t v = 0; v < parsed.formula.num_vars(); ++v) {
+            std::printf(" %s%zu", race.model[v] ? "" : "-", v + 1);
+          }
+          std::printf(" 0\n");
+        }
+        return 10;
+      }
+      case ns::solver::SatResult::kUnsat:
+        if (!assumptions.empty()) {
+          std::printf("c core");
+          for (const Lit l : race.core) std::printf(" %d", l.to_dimacs());
+          std::printf(" 0\n");
+        }
+        std::printf("s UNSATISFIABLE\n");
+        return 20;
+      default:
+        std::printf("c stopped: %s\n",
+                    ns::solver::stop_reason_name(race.why));
+        std::printf("s UNKNOWN\n");
+        return 0;
+    }
+  }
 
   ns::solver::Solver solver(options);
   ProgressPrinter progress_printer;
