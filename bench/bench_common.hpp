@@ -13,20 +13,32 @@
 #include <string>
 #include <vector>
 
+#ifndef _WIN32
+#include <unistd.h>  // getpid, for the temp-file suffix
+#endif
+
 #include "core/labeling.hpp"
 #include "core/trainer.hpp"
 #include "gen/dataset.hpp"
+#include "runtime/annotations.hpp"
 
 namespace ns::bench {
 
 /// Accumulates (name, threads, wall ms) measurements and writes them as a
 /// JSON array to `BENCH_<bench>.json`, so successive PRs can track the perf
 /// trajectory from checked-in bench output.
+///
+/// Thread- and crash-safe: `record` may be called from pool workers (the
+/// entry list is `NS_GUARDED_BY` the internal mutex), and every write goes
+/// through a fresh temp file plus an atomic rename, so a reader — or a
+/// concurrent/interrupted bench run sharing the file via `write_shared` —
+/// can never observe a torn BENCH file.
 class BenchJson {
  public:
   explicit BenchJson(std::string bench_name) : bench_(std::move(bench_name)) {}
 
   void record(const std::string& name, std::size_t threads, double wall_ms) {
+    runtime::MutexLock lock(mutex_);
     entries_.push_back(Entry{name, threads, wall_ms, 0.0});
   }
 
@@ -34,12 +46,14 @@ class BenchJson {
   /// workload's 1-thread run (emitted as `speedup_vs_1t`).
   void record(const std::string& name, std::size_t threads, double wall_ms,
               double speedup_vs_1t) {
+    runtime::MutexLock lock(mutex_);
     entries_.push_back(Entry{name, threads, wall_ms, speedup_vs_1t});
   }
 
   /// Writes `dir`/BENCH_<bench>.json; returns false if the file cannot be
-  /// opened. Safe to call repeatedly (rewrites the whole file).
+  /// written. Safe to call repeatedly (rewrites the whole file).
   bool write(const std::string& dir = ".") const {
+    runtime::MutexLock lock(mutex_);
     return write_file(dir, {}, /*preserved_first=*/false);
   }
 
@@ -54,6 +68,7 @@ class BenchJson {
                     const std::string& dir = ".") const {
     const std::vector<std::string> preserved =
         read_rows(dir, name_prefix, /*keep_matching=*/!this_bench_owns_prefix);
+    runtime::MutexLock lock(mutex_);
     return write_file(dir, preserved, /*preserved_first=*/this_bench_owns_prefix);
   }
 
@@ -93,10 +108,24 @@ class BenchJson {
     return rows;
   }
 
+  /// Renders all rows into `<path>.tmp.<pid>` and renames it over the
+  /// target: rename(2) is atomic within a filesystem, so the BENCH file is
+  /// always either the old or the new content, never a torn mix — even if
+  /// this run is interrupted mid-write or races another process.
   bool write_file(const std::string& dir,
                   const std::vector<std::string>& preserved,
-                  bool preserved_first) const {
-    std::FILE* f = std::fopen(path_in(dir).c_str(), "w");
+                  bool preserved_first) const NS_REQUIRES(mutex_) {
+    const std::string path = path_in(dir);
+    const std::string tmp =
+        path + ".tmp." +
+        std::to_string(
+#ifdef _WIN32
+            0
+#else
+            static_cast<long>(getpid())
+#endif
+        );
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
     if (f == nullptr) return false;
     std::vector<std::string> rows;
     rows.reserve(entries_.size() + preserved.size());
@@ -127,11 +156,16 @@ class BenchJson {
     }
     std::fprintf(f, "]\n");
     std::fclose(f);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return false;
+    }
     return true;
   }
 
   std::string bench_;
-  std::vector<Entry> entries_;
+  mutable runtime::Mutex mutex_;
+  std::vector<Entry> entries_ NS_GUARDED_BY(mutex_);
 };
 
 struct LabeledDataset {

@@ -1,10 +1,10 @@
 #include "portfolio/racer.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <optional>
 
 #include "audit/race_audit.hpp"
+#include "runtime/annotations.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace ns::portfolio {
@@ -54,6 +54,16 @@ struct Lane {
   std::uint64_t base_ticks = 0;     ///< lifetime ticks at race start
   solver::SolveOutcome last;        ///< most recent slice outcome
   EngineRaceResult rec;
+};
+
+/// Mid-round eager-cancellation state: the best decided (ticks, id)
+/// candidate seen so far this round. Lane bodies publish their decisions
+/// here and interrupt rivals whose tick watermark proves them already
+/// lost; the guard is the annotated runtime::Mutex so -Wthread-safety
+/// proves every `best` access happens under the sweep lock.
+struct Sweep {
+  runtime::Mutex mutex;
+  std::optional<Candidate> best NS_GUARDED_BY(mutex);
 };
 
 }  // namespace
@@ -125,11 +135,7 @@ RaceResult PortfolioRacer::run_race(bool all,
     lane.rec.participated = true;
   }
 
-  // Mid-round eager-cancellation state: the best decided candidate seen so
-  // far, guarded by `sweep_mutex`. Lane bodies publish their decisions here
-  // and interrupt rivals whose tick watermark proves them already lost.
-  std::mutex sweep_mutex;
-  std::optional<Candidate> sweep_best;
+  Sweep sweep;
 
   std::vector<std::size_t> active(lanes.size());
   for (std::size_t i = 0; i < active.size(); ++i) active[i] = i;
@@ -160,15 +166,15 @@ RaceResult PortfolioRacer::run_race(bool all,
           // under-reports, so a rival that still could win is never hit.
           const Candidate cand{eng.stats().ticks - lane.base_ticks,
                                lane.rec.config_id};
-          std::lock_guard<std::mutex> lock(sweep_mutex);
-          if (!sweep_best || beats(cand, *sweep_best)) sweep_best = cand;
+          runtime::MutexLock lock(sweep.mutex);
+          if (!sweep.best || beats(cand, *sweep.best)) sweep.best = cand;
           for (std::size_t j : active) {
             Lane& rival = lanes[j];
             if (&rival == &lane) continue;
             const solver::Solver& reng = *engines_[rival.engine];
             const Candidate seen{reng.ticks_observed() - rival.base_ticks,
                                  rival.rec.config_id};
-            if (beats(*sweep_best, seen)) engines_[rival.engine]->interrupt();
+            if (beats(*sweep.best, seen)) engines_[rival.engine]->interrupt();
           }
         }
       }

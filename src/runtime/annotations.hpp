@@ -15,6 +15,20 @@
 /// zero-overhead wrappers over the std primitives that carry the
 /// attributes. Guarded state is declared `NS_GUARDED_BY(mutex)` and every
 /// access is then proven to happen under the right lock at compile time.
+///
+/// The static half of the discipline is enforced by ns::conlint
+/// (tools/con_lint.cpp against src/CONCURRENCY.txt, DESIGN.md §16), which
+/// checks three comment conventions tree-wide:
+///   // NS_ATOMIC(<order>): rationale   on every std::atomic declaration
+///       (<order> is the memory-order contract: relaxed, acquire, release,
+///       acq_rel, or seq_cst — and the rationale says why it suffices)
+///   // NS_MUTEX: rationale             on any *raw* std mutex/condvar
+///       declaration (the wrappers below are the sanctioned form; raw std
+///       types are invisible to the analysis, so they must justify why)
+///   // NS_SUPPRESS(<rule>): rationale  on a line a determinism rule would
+///       otherwise reject in a deterministic layer
+/// `NS_ACQUIRED_BEFORE` edges double as a declared lock-order graph that
+/// conlint checks for cycles.
 
 #include <condition_variable>
 #include <mutex>
@@ -67,6 +81,8 @@ class NS_CAPABILITY("mutex") Mutex {
   bool try_lock() NS_TRY_ACQUIRE(true) { return m_.try_lock(); }
 
  private:
+  // NS_MUTEX: the wrapped payload of the annotated Mutex capability itself —
+  // this declaration is the one place the raw type is the point.
   std::mutex m_;
 };
 
@@ -98,8 +114,9 @@ class CondVar {
   void notify_all() { cv_.notify_all(); }
 
  private:
-  // _any: waits on the annotated Mutex directly (BasicLockable), so no
-  // unannotated unique_lock<std::mutex> detour is needed.
+  // NS_MUTEX: the wrapped payload of the annotated CondVar. _any: waits on
+  // the annotated Mutex directly (BasicLockable), so no unannotated
+  // unique_lock<std::mutex> detour is needed.
   std::condition_variable_any cv_;
 };
 

@@ -38,6 +38,8 @@ std::size_t default_thread_count() {
   // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("NS_THREADS")) {
     if (const auto n = parse_thread_count(env)) return *n;
+    // NS_ATOMIC(seq_cst): once-only warning latch (default-order exchange);
+    // carries no payload — the message text is immutable.
     static std::atomic<bool> warned{false};
     if (!warned.exchange(true)) {
       std::fprintf(stderr,
@@ -60,6 +62,9 @@ struct ThreadPool::Job {
   const RangeBody* body = nullptr;
   std::size_t n = 0;
   std::size_t chunks = 0;
+  // NS_ATOMIC(relaxed): chunk-claim ticket counter. Chunk boundaries are
+  // pure functions of (n, chunks, index), so claims need no ordering with
+  // other state; completion is published through the guarded `remaining`.
   std::atomic<std::size_t> next_chunk{0};
 };
 
@@ -190,6 +195,9 @@ void ThreadPool::parallel_for(std::size_t n, const RangeBody& body) {
 namespace {
 
 std::mutex& global_pool_mutex() {
+  // NS_MUTEX: guards the global pool slot below. Raw std::mutex because the
+  // guarded state is a function-local static the thread-safety analysis
+  // cannot attribute a guard to; both accessors lock unconditionally.
   static std::mutex m;
   return m;
 }

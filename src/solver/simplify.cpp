@@ -118,6 +118,9 @@ SimplifyResult simplify(const CnfFormula& input,
   if (!contradiction) {
     // 3. Duplicate removal, then forward subsumption (sorted by size so a
     // clause can only be subsumed by an earlier, not-larger one).
+    // NS_SUPPRESS(unordered-iteration): membership-only — the set is only
+    // probed via insert().second; the surviving clauses are carried in
+    // `deduped`, which preserves the deterministic input order.
     std::unordered_set<Clause, ClauseHash> unique;
     std::vector<Clause> deduped;
     deduped.reserve(clauses.size());

@@ -260,9 +260,18 @@ class Solver {
   // incremental solving
   std::vector<Lit> failed_assumptions_;
   Budget budget_;                        ///< per-query limits (sticky)
-  std::atomic<bool> interrupted_{false}; ///< sticky until clear_interrupt()
+  /// Sticky until clear_interrupt().
+  /// NS_ATOMIC(relaxed): pure flag — no payload is published through it.
+  /// Every budget checkpoint re-reads it, and all outcome fields of a
+  /// cancelled query are written by the solving thread itself, so the only
+  /// requirement is eventual visibility, which relaxed provides.
+  std::atomic<bool> interrupted_{false};
   /// Monotone cross-thread tick mirror (see ticks_observed()); written by
   /// the solving thread at budget checkpoints, read by racer monitors.
+  /// NS_ATOMIC(relaxed): racer readers only need a *lower bound* on the
+  /// true tick count — a stale value under-reports, which the proof-based
+  /// cancellation contract (DESIGN.md §15) tolerates by design, so no
+  /// ordering with any other solver state is required.
   mutable std::atomic<std::uint64_t> tick_watermark_{0};
   Statistics query_base_;   ///< stats snapshot at the previous query's end
   std::uint64_t lifetime_max_trail_ = 0;  ///< peak of finished queries

@@ -1,0 +1,34 @@
+# Negative-test driver for ns::conlint (mirrors archcheck_case.cmake): runs
+# con_lint over a seeded fixture tree under tests/fixtures/conlint/ and
+# asserts that
+#   (a) the run exits nonzero, and
+#   (b) the diagnostic names the expected rule ([ownership],
+#       [atomic-rationale], [mutex-discipline], [lock-order-cycle],
+#       [unordered-iteration], [randomness], [address-order], or
+#       [manifest]).
+#
+# Variables (passed via -D): CON_LINT, ROOT, EXPECT_RULE.
+
+foreach(required CON_LINT ROOT EXPECT_RULE)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "conlint_case: ${required} not set")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${CON_LINT}" --root "${ROOT}"
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE res)
+message(STATUS "con_lint exit ${res}\n${out}${err}")
+
+if(res EQUAL 0)
+  message(FATAL_ERROR
+      "conlint_case: expected a [${EXPECT_RULE}] violation in ${ROOT}, "
+      "but con_lint exited 0")
+endif()
+if(NOT out MATCHES "\\[${EXPECT_RULE}\\]")
+  message(FATAL_ERROR
+      "conlint_case: con_lint exited ${res} but emitted no "
+      "[${EXPECT_RULE}] diagnostic")
+endif()

@@ -1,0 +1,17 @@
+#pragma once
+// Fixture: sorting clauses by pointer value — the order changes with every
+// allocation layout, never reproducibly.
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+namespace fixture {
+
+struct Clause;
+
+inline void sort_by_address(std::vector<Clause*>& clauses) {
+  std::sort(clauses.begin(), clauses.end(), std::less<Clause*>{});
+}
+
+}  // namespace fixture

@@ -1,0 +1,4 @@
+#pragma once
+// Fixture: the violations live in the manifest, not in this file.
+
+namespace fixture {}

@@ -1,0 +1,14 @@
+#pragma once
+// Fixture: std::random_device in the solver — every run would branch
+// differently, so labels stop being reproducible.
+
+#include <random>
+
+namespace fixture {
+
+inline unsigned pick() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+#pragma once
+// Fixture: a cyclic declared lock order (deadlock by construction). The
+// annotated wrapper type keeps mutex-discipline quiet; the conlint scan is
+// textual, so no include of the real annotations header is needed.
+
+namespace fixture {
+
+struct Locks {
+  Mutex alpha NS_ACQUIRED_BEFORE(beta);
+  Mutex beta NS_ACQUIRED_BEFORE(alpha);
+};
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+#pragma once
+// Fixture: an atomic declaration with no NS_ATOMIC(<order>) comment.
+
+#include <atomic>
+
+namespace fixture {
+
+class Engine {
+ public:
+  void interrupt() { stop_.store(true); }
+
+ private:
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+#pragma once
+// Fixture: a raw std::mutex member — should be runtime::Mutex (annotated)
+// or carry an NS_MUTEX: rationale.
+
+#include <mutex>
+
+namespace fixture {
+
+class Cache {
+ private:
+  std::mutex mutex_;
+  int value_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+#pragma once
+// Fixture: the rationale comment is present, so only [ownership] fires.
+
+#include <atomic>
+
+namespace fixture {
+
+class Engine {
+ public:
+  void interrupt() { stop_.store(true); }
+
+ private:
+  // NS_ATOMIC(relaxed): sticky cancellation flag; no payload published.
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace fixture

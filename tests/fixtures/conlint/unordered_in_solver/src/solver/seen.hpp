@@ -1,0 +1,20 @@
+#pragma once
+// Fixture: iterating an unordered_map in the solver — the loop order is
+// hash-seed dependent and would poison the search trajectory.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+inline std::vector<std::uint32_t> drain(
+    const std::unordered_map<std::uint32_t, std::uint32_t>& seen) {
+  std::vector<std::uint32_t> out;
+  for (const auto& [var, count] : seen) {
+    if (count > 1) out.push_back(var);
+  }
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,618 @@
+// con_lint — ns::conlint concurrency & determinism linter (DESIGN.md §16).
+//
+// The repo's moat is bitwise determinism at any thread count, and the
+// serving layer will multiply the concurrent state; this tool makes both
+// properties *checked* instead of hoped-for. It scans every source file
+// under src/ (comment-aware, same scanner style as arch_lint.cpp) against
+// the concurrency manifest at src/CONCURRENCY.txt and reports violations
+// one per line as
+//
+//   con_lint: [<rule>] <file>:<line>: <message>
+//
+// and optionally as a JSON report (--json). Exit 0 = clean, 1 = violations,
+// 2 = usage/manifest error.
+//
+// Manifest grammar (one declaration per line, `#` comments):
+//   threads <layer>...        layers that may create/own OS threads
+//                             (std::thread/jthread/async, thread_local)
+//   atomics <layer>...        layers that may declare std::atomic state
+//   mutexes <layer>...        layers that may declare mutexes/condvars
+//                             (runtime::Mutex preferred; raw std types
+//                             need an NS_MUTEX rationale)
+//   deterministic <layer>...  layers whose search trajectory must be
+//                             bit-reproducible: the determinism rules
+//                             below apply
+//
+// Rules:
+//   manifest            malformed manifest, or a grant naming a layer with
+//                       no directory under src/
+//   ownership           a thread/atomic/mutex primitive in a layer the
+//                       manifest does not grant it — concurrency cannot
+//                       creep into a layer without taking a position in
+//                       the manifest
+//   atomic-rationale    a std::atomic declaration without an
+//                       `NS_ATOMIC(<order>): <rationale>` comment naming
+//                       its memory-order contract (relaxed, acquire,
+//                       release, acq_rel, seq_cst)
+//   mutex-discipline    a raw std::mutex/std::condition_variable member
+//                       that is neither the annotated runtime::Mutex /
+//                       CondVar wrapper nor justified by an
+//                       `NS_MUTEX: <rationale>` comment (raw std types are
+//                       invisible to clang's thread-safety analysis)
+//   lock-order-cycle    a cycle in the lock-order graph declared by
+//                       `NS_ACQUIRED_BEFORE` annotations (a cyclic order
+//                       admits deadlock by construction)
+//   unordered-iteration std::unordered_map/set in a deterministic layer:
+//                       iteration order is hash-seed- and libstdc++-
+//                       version-dependent, so any order that escapes
+//                       poisons the trajectory
+//   randomness          rand()/std::random_device/time()/clock()/
+//                       *_clock::now() in a deterministic layer — seeded
+//                       deterministic engines (std::mt19937) are fine,
+//                       ambient entropy and wall clocks are not
+//   address-order       pointer-value or hash-value ordering
+//                       (std::less<T*>, uintptr_t casts, std::hash-keyed
+//                       ordering) in a deterministic layer: allocation
+//                       addresses differ run to run
+//
+// Determinism rules accept justified suppressions on the same line or an
+// immediately preceding comment line:
+//
+//   // NS_SUPPRESS(<rule>): <why no nondeterminism escapes>
+//
+// A suppression with an empty rationale does not count.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Manifest {
+  // directive name -> granted layer set; the four known directives are
+  // always present (possibly empty).
+  std::map<std::string, std::set<std::string>> grants;
+};
+
+struct Violation {
+  std::string rule;
+  std::string file;   // repo-root-relative path (or manifest path)
+  std::size_t line = 0;
+  std::string message;
+};
+
+struct Options {
+  fs::path root;
+  fs::path manifest_path;  // empty = <root>/src/CONCURRENCY.txt
+  fs::path json_path;
+  bool verbose = false;
+};
+
+/// One physical source line, split into its code and comment parts
+/// (block comments tracked across lines).
+struct LineParts {
+  std::string code;
+  std::string comment;
+};
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: con_lint --root <repo-root> [--manifest <CONCURRENCY.txt>]\n"
+      "                [--json <report.json>] [--verbose]\n",
+      out);
+}
+
+std::string to_generic(const fs::path& p) { return p.generic_string(); }
+
+const std::set<std::string> kDirectives = {"threads", "atomics", "mutexes",
+                                           "deterministic"};
+
+/// Parses src/CONCURRENCY.txt. Syntax errors are reported as `manifest`
+/// violations; the returned manifest holds whatever parsed cleanly.
+Manifest parse_manifest(const fs::path& path, const fs::path& root,
+                        std::vector<Violation>& out) {
+  Manifest m;
+  for (const std::string& d : kDirectives) m.grants[d];
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream tokens(line);
+    std::string directive;
+    if (!(tokens >> directive)) continue;  // blank / comment-only line
+    if (!kDirectives.count(directive)) {
+      out.push_back({"manifest", to_generic(path), lineno,
+                     "unknown declaration `" + directive +
+                         "` (expected threads, atomics, mutexes, or "
+                         "deterministic)"});
+      continue;
+    }
+    std::string layer;
+    bool any = false;
+    while (tokens >> layer) {
+      any = true;
+      if (!fs::is_directory(root / "src" / layer)) {
+        out.push_back({"manifest", to_generic(path), lineno,
+                       "`" + directive + "` grants layer `" + layer +
+                           "`, but src/" + layer + " does not exist"});
+        continue;
+      }
+      m.grants[directive].insert(layer);
+    }
+    if (!any) {
+      out.push_back({"manifest", to_generic(path), lineno,
+                     "`" + directive + "` needs at least one layer name"});
+    }
+  }
+  return m;
+}
+
+bool is_source_ext(const fs::path& p) {
+  const std::string e = p.extension().string();
+  return e == ".hpp" || e == ".h" || e == ".cpp" || e == ".cc" || e == ".inc";
+}
+
+/// All source files under <root>/src, root-relative, sorted. Hidden
+/// directories and nested conlint roots (a subdirectory with its own
+/// src/CONCURRENCY.txt, i.e. a seeded fixture tree) are skipped.
+std::vector<fs::path> collect_sources(const fs::path& root) {
+  std::vector<fs::path> files;
+  const fs::path base = root / "src";
+  if (!fs::exists(base)) return files;
+  for (auto it = fs::recursive_directory_iterator(base);
+       it != fs::recursive_directory_iterator(); ++it) {
+    const fs::directory_entry& entry = *it;
+    if (entry.is_directory()) {
+      const std::string name = entry.path().filename().string();
+      if ((!name.empty() && name[0] == '.') ||
+          fs::exists(entry.path() / "src" / "CONCURRENCY.txt")) {
+        it.disable_recursion_pending();
+      }
+      continue;
+    }
+    if (entry.is_regular_file() && is_source_ext(entry.path())) {
+      files.push_back(fs::relative(entry.path(), root));
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// Layer of a root-relative path "src/<layer>/...", nullopt for bare files
+/// directly under src/ (the manifests themselves).
+std::optional<std::string> layer_of(const fs::path& rel) {
+  auto it = rel.begin();
+  if (it == rel.end() || *it != "src") return std::nullopt;
+  if (++it == rel.end()) return std::nullopt;
+  const std::string name = it->string();
+  return std::next(it) == rel.end() ? std::nullopt
+                                    : std::optional<std::string>(name);
+}
+
+/// Splits a file into per-line (code, comment) parts. Both `//` and
+/// `/* ... */` comments land in `comment`; string literals are tracked so
+/// a quoted "//" does not start a comment.
+std::vector<LineParts> split_lines(const fs::path& file) {
+  std::vector<LineParts> lines;
+  std::ifstream in(file);
+  std::string line;
+  bool in_block = false;
+  while (std::getline(in, line)) {
+    LineParts parts;
+    bool in_string = false;
+    char quote = '\0';
+    for (std::size_t i = 0; i < line.size();) {
+      if (in_block) {
+        if (line.compare(i, 2, "*/") == 0) {
+          in_block = false;
+          i += 2;
+        } else {
+          parts.comment.push_back(line[i]);
+          ++i;
+        }
+      } else if (in_string) {
+        parts.code.push_back(line[i]);
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          parts.code.push_back(line[i + 1]);
+          ++i;
+        } else if (line[i] == quote) {
+          in_string = false;
+        }
+        ++i;
+      } else if (line[i] == '"' || line[i] == '\'') {
+        in_string = true;
+        quote = line[i];
+        parts.code.push_back(line[i]);
+        ++i;
+      } else if (line.compare(i, 2, "/*") == 0) {
+        in_block = true;
+        i += 2;
+      } else if (line.compare(i, 2, "//") == 0) {
+        parts.comment.append(line, i + 2, std::string::npos);
+        break;
+      } else {
+        parts.code.push_back(line[i]);
+        ++i;
+      }
+    }
+    lines.push_back(std::move(parts));
+  }
+  return lines;
+}
+
+bool blank_code(const std::string& code) {
+  return code.find_first_not_of(" \t") == std::string::npos;
+}
+
+/// True when the comment of line `i`, or of an unbroken run of
+/// comment-only lines immediately above it, matches `marker`.
+bool has_marker(const std::vector<LineParts>& lines, std::size_t i,
+                const std::regex& marker) {
+  if (std::regex_search(lines[i].comment, marker)) return true;
+  for (std::size_t j = i; j-- > 0;) {
+    if (!blank_code(lines[j].code)) break;  // a code line ends the block
+    if (lines[j].comment.empty()) break;    // so does a fully blank line
+    if (std::regex_search(lines[j].comment, marker)) return true;
+  }
+  return false;
+}
+
+/// Detects `std::atomic<...> name` / `std::atomic_bool name` declarations
+/// (as opposed to mentions inside template args, references, or aliases).
+bool is_atomic_decl(const std::string& code) {
+  const std::size_t at = code.find("std::atomic");
+  if (at == std::string::npos) return false;
+  std::size_t i = at + std::string("std::atomic").size();
+  while (i < code.size() &&
+         (std::isalnum(static_cast<unsigned char>(code[i])) != 0 ||
+          code[i] == '_')) {
+    ++i;  // std::atomic_bool and friends
+  }
+  while (i < code.size() && code[i] == ' ') ++i;
+  if (i < code.size() && code[i] == '<') {
+    int depth = 0;
+    for (; i < code.size(); ++i) {
+      if (code[i] == '<') ++depth;
+      if (code[i] == '>' && --depth == 0) {
+        ++i;
+        break;
+      }
+    }
+  }
+  while (i < code.size() && code[i] == ' ') ++i;
+  return i < code.size() &&
+         (std::isalpha(static_cast<unsigned char>(code[i])) != 0 ||
+          code[i] == '_');
+}
+
+/// DFS cycle finder over a string-keyed adjacency map (one witness cycle
+/// per entangled region; same algorithm as arch_lint).
+std::vector<std::string> find_cycles(
+    const std::map<std::string, std::set<std::string>>& adj) {
+  std::vector<std::string> cycles;
+  std::map<std::string, int> color;  // 0 = white, 1 = on stack, 2 = done
+  std::vector<std::string> stack;
+  std::set<std::string> in_reported_cycle;
+
+  struct Frame {
+    std::string node;
+    std::set<std::string>::const_iterator next, end;
+  };
+  for (const auto& [start, unused] : adj) {
+    (void)unused;
+    if (color[start] != 0) continue;
+    std::vector<Frame> frames;
+    const auto push = [&](const std::string& n) {
+      color[n] = 1;
+      stack.push_back(n);
+      static const std::set<std::string> kEmpty;
+      const auto it = adj.find(n);
+      const auto& succ = it == adj.end() ? kEmpty : it->second;
+      frames.push_back({n, succ.begin(), succ.end()});
+    };
+    push(start);
+    while (!frames.empty()) {
+      Frame& top = frames.back();
+      if (top.next == top.end) {
+        color[top.node] = 2;
+        stack.pop_back();
+        frames.pop_back();
+        continue;
+      }
+      const std::string succ = *top.next++;
+      if (color[succ] == 1) {
+        const auto begin = std::find(stack.begin(), stack.end(), succ);
+        bool fresh = false;
+        std::string text;
+        for (auto it2 = begin; it2 != stack.end(); ++it2) {
+          if (in_reported_cycle.insert(*it2).second) fresh = true;
+          text += *it2 + " -> ";
+        }
+        text += succ;
+        if (fresh) cycles.push_back(text);
+      } else if (color[succ] == 0) {
+        push(succ);
+      }
+    }
+  }
+  return cycles;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// One banned-construct pattern of a determinism rule.
+struct Banned {
+  const char* rule;
+  std::regex pattern;
+  const char* what;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "con_lint: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      opt.root = value();
+    } else if (arg == "--manifest") {
+      opt.manifest_path = value();
+    } else if (arg == "--json") {
+      opt.json_path = value();
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "con_lint: unknown argument %s\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (opt.root.empty()) {
+    usage(stderr);
+    return 2;
+  }
+  opt.root = fs::weakly_canonical(opt.root);
+  if (opt.manifest_path.empty()) {
+    opt.manifest_path = opt.root / "src" / "CONCURRENCY.txt";
+  }
+  if (!fs::exists(opt.manifest_path)) {
+    std::fprintf(stderr, "con_lint: manifest %s not found\n",
+                 to_generic(opt.manifest_path).c_str());
+    return 2;
+  }
+
+  std::vector<Violation> violations;
+  const Manifest manifest =
+      parse_manifest(opt.manifest_path, opt.root, violations);
+  const auto granted = [&](const char* directive, const std::string& layer) {
+    return manifest.grants.at(directive).count(layer) != 0;
+  };
+
+  // Token patterns. Thread/atomic/mutex ownership triggers on any use of
+  // the primitive; the rationale rules trigger only on declarations.
+  static const std::regex kThreadTok(
+      R"(\bstd::(thread|jthread|async)\b|\bthread_local\b)");
+  static const std::regex kStdSyncTok(
+      R"(\bstd::(mutex|recursive_mutex|shared_mutex|timed_mutex|condition_variable(_any)?)\b)");
+  static const std::regex kStdSyncDecl(
+      R"(\bstd::(mutex|recursive_mutex|shared_mutex|timed_mutex|condition_variable(_any)?)\s+[A-Za-z_]\w*)");
+  static const std::regex kWrapperDecl(
+      R"(\b(runtime::)?(Mutex|CondVar)\s+[A-Za-z_]\w*)");
+  static const std::regex kAcquiredBefore(
+      R"((\w+)\s+NS_ACQUIRED_BEFORE\s*\(([^)]*)\))");
+  static const std::regex kAtomicMarker(
+      R"(NS_ATOMIC\(\s*(relaxed|acquire|release|acq_rel|seq_cst)\s*\)\s*:\s*\S)");
+  static const std::regex kMutexMarker(R"(NS_MUTEX\s*:\s*\S)");
+
+  static const std::vector<Banned> kBanned = {
+      {"unordered-iteration",
+       std::regex(R"(\bunordered_(map|set|multimap|multiset)\b)"),
+       "std::unordered_* container (iteration order is hash-seed and "
+       "library-version dependent)"},
+      {"randomness", std::regex(R"(\bstd::random_device\b)"),
+       "std::random_device (ambient entropy)"},
+      {"randomness", std::regex(R"((^|[^\w:.])s?rand\s*\()"),
+       "rand()/srand() (global, nondeterministic across platforms)"},
+      {"randomness", std::regex(R"((^|[^\w:.])time\s*\()"),
+       "time() (wall clock)"},
+      {"randomness", std::regex(R"((^|[^\w:.])clock\s*\()"),
+       "clock() (wall clock)"},
+      {"randomness", std::regex(R"(_clock::now\s*\()"),
+       "std::chrono clock read (wall clock)"},
+      {"address-order",
+       std::regex(R"(reinterpret_cast<\s*(std::)?uintptr_t\s*>)"),
+       "pointer-to-integer cast (allocation addresses differ run to run)"},
+      {"address-order", std::regex(R"(\bstd::less<[^>]*\*\s*>)"),
+       "std::less over pointers (address ordering)"},
+      {"address-order", std::regex(R"(\bstd::hash<)"),
+       "std::hash-keyed ordering (hash values are not a stable order)"},
+      {"address-order", std::regex(R"(\bstd::owner_less\b)"),
+       "std::owner_less (address ordering)"},
+  };
+
+  const std::vector<fs::path> files = collect_sources(opt.root);
+
+  // Lock-order edges from NS_ACQUIRED_BEFORE declarations, tree-wide:
+  // capability-name -> must-be-acquired-after names.
+  std::map<std::string, std::set<std::string>> lock_order;
+
+  for (const fs::path& rel : files) {
+    const std::string rel_str = to_generic(rel);
+    const auto layer = layer_of(rel);
+    if (!layer) continue;
+    const std::vector<LineParts> lines = split_lines(opt.root / rel);
+    const bool deterministic = granted("deterministic", *layer);
+
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const std::string& code = lines[i].code;
+      if (blank_code(code)) continue;
+      const std::size_t lineno = i + 1;
+      // Preprocessor lines are exempt throughout: an #include or a macro
+      // definition is not a use site (the uses it enables still are).
+      const bool preprocessor = code[code.find_first_not_of(" \t")] == '#';
+
+      // Lock-order edges.
+      if (!preprocessor) {
+        auto begin =
+            std::sregex_iterator(code.begin(), code.end(), kAcquiredBefore);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+          const std::string holder = (*it)[1].str();
+          std::istringstream args((*it)[2].str());
+          std::string target;
+          while (std::getline(args, target, ',')) {
+            const auto b = target.find_first_not_of(" \t");
+            const auto e = target.find_last_not_of(" \t");
+            if (b == std::string::npos) continue;
+            lock_order[holder].insert(target.substr(b, e - b + 1));
+          }
+        }
+      }
+
+      // --- ownership + annotation discipline -----------------------------
+      if (std::regex_search(code, kThreadTok) && !granted("threads", *layer)) {
+        violations.push_back(
+            {"ownership", rel_str, lineno,
+             "thread primitive in layer `" + *layer + "`, which "
+             "src/CONCURRENCY.txt does not grant `threads`"});
+      }
+      if (code.find("std::atomic") != std::string::npos) {
+        if (!granted("atomics", *layer)) {
+          violations.push_back(
+              {"ownership", rel_str, lineno,
+               "std::atomic in layer `" + *layer + "`, which "
+               "src/CONCURRENCY.txt does not grant `atomics`"});
+        } else if (is_atomic_decl(code) &&
+                   !has_marker(lines, i, kAtomicMarker)) {
+          violations.push_back(
+              {"atomic-rationale", rel_str, lineno,
+               "std::atomic declaration without an `NS_ATOMIC(<order>): "
+               "<rationale>` comment naming its memory-order contract"});
+        }
+      }
+      const bool std_sync = std::regex_search(code, kStdSyncTok);
+      const bool wrapper_decl = std::regex_search(code, kWrapperDecl);
+      if ((std_sync || wrapper_decl) && !granted("mutexes", *layer)) {
+        violations.push_back(
+            {"ownership", rel_str, lineno,
+             "mutex/condvar in layer `" + *layer + "`, which "
+             "src/CONCURRENCY.txt does not grant `mutexes`"});
+      } else if (std_sync && std::regex_search(code, kStdSyncDecl) &&
+                 !has_marker(lines, i, kMutexMarker)) {
+        violations.push_back(
+            {"mutex-discipline", rel_str, lineno,
+             "raw std mutex/condvar declaration; use the annotated "
+             "runtime::Mutex / CondVar wrappers (visible to "
+             "-Wthread-safety) or justify with `NS_MUTEX: <rationale>`"});
+      }
+
+      // --- determinism rules ---------------------------------------------
+      if (!deterministic || preprocessor) continue;
+      for (const Banned& b : kBanned) {
+        if (!std::regex_search(code, b.pattern)) continue;
+        const std::regex suppress(std::string("NS_SUPPRESS\\(\\s*") + b.rule +
+                                  "\\s*\\)\\s*:\\s*\\S");
+        if (has_marker(lines, i, suppress)) continue;
+        violations.push_back(
+            {b.rule, rel_str, lineno,
+             std::string(b.what) + " in deterministic layer `" + *layer +
+                 "`; replace it or justify with `NS_SUPPRESS(" + b.rule +
+                 "): <why no nondeterminism escapes>`"});
+        break;  // one determinism diagnostic per line is enough
+      }
+    }
+    if (opt.verbose) {
+      std::fprintf(stderr, "con_lint: scanned %s (%zu lines)\n",
+                   rel_str.c_str(), lines.size());
+    }
+  }
+
+  for (const std::string& cycle : find_cycles(lock_order)) {
+    violations.push_back(
+        {"lock-order-cycle", "src", 0,
+         "NS_ACQUIRED_BEFORE declarations form a cycle: " + cycle +
+             " (a cyclic lock order admits deadlock)"});
+  }
+
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.rule, a.file, a.line, a.message) <
+                     std::tie(b.rule, b.file, b.line, b.message);
+            });
+  for (const Violation& v : violations) {
+    std::printf("con_lint: [%s] %s:%zu: %s\n", v.rule.c_str(), v.file.c_str(),
+                v.line, v.message.c_str());
+  }
+  std::printf(
+      "con_lint: %zu file(s), %zu lock-order edge(s), %zu violation(s)\n",
+      files.size(), lock_order.size(), violations.size());
+
+  if (!opt.json_path.empty()) {
+    std::ofstream json(opt.json_path);
+    json << "{\n  \"root\": \"" << json_escape(to_generic(opt.root))
+         << "\",\n  \"files\": " << files.size() << ",\n  \"lock_order\": [";
+    bool first = true;
+    for (const auto& [from, tos] : lock_order) {
+      for (const auto& to : tos) {
+        json << (first ? "" : ", ") << "\"" << json_escape(from) << " -> "
+             << json_escape(to) << "\"";
+        first = false;
+      }
+    }
+    json << "],\n  \"violations\": [";
+    first = true;
+    for (const Violation& v : violations) {
+      json << (first ? "\n" : ",\n")
+           << "    {\"rule\": \"" << json_escape(v.rule)
+           << "\", \"file\": \"" << json_escape(v.file)
+           << "\", \"line\": " << v.line
+           << ", \"message\": \"" << json_escape(v.message) << "\"}";
+      first = false;
+    }
+    json << (first ? "" : "\n  ") << "]\n}\n";
+  }
+  return violations.empty() ? 0 : 1;
+}

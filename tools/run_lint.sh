@@ -3,7 +3,7 @@
 # project's own sources using the compile database of an existing build
 # directory. Exits nonzero on any finding (WarningsAsErrors: '*').
 #
-# Usage: tools/run_lint.sh [--tier fast|deep] [--serial]
+# Usage: tools/run_lint.sh [--tier fast|deep] [--serial] [--static]
 #                          [--sources-from FILE] [build-dir]
 #   --tier fast     (default) the curated .clang-tidy check set — quick
 #                   enough to gate every build.
@@ -12,6 +12,12 @@
 #                   documented in the .clang-tidy header. Slower by design;
 #                   run it from `ctest -L analysis` or CI, not the inner
 #                   loop.
+#   --static        first run the in-repo analyzers from the build dir —
+#                   arch_lint (ns::archcheck) and con_lint (ns::conlint) —
+#                   against the real tree; skipped with a notice when the
+#                   binaries are not built. Their findings fail the gate
+#                   like tidy findings do. (`cmake --build <dir> --target
+#                   check-static` is the build-system spelling.)
 #   --serial        force the per-file fallback loop even when the parallel
 #                   run-clang-tidy driver is available (the fixture test
 #                   uses this to exercise exit-code aggregation).
@@ -29,6 +35,7 @@ set -u
 
 tier=fast
 serial=0
+static=0
 sources_from=""
 build_dir=""
 
@@ -44,6 +51,10 @@ while [ $# -gt 0 ]; do
       ;;
     --serial)
       serial=1
+      shift
+      ;;
+    --static)
+      static=1
       shift
       ;;
     --sources-from)
@@ -72,9 +83,24 @@ esac
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${build_dir:-${repo_root}/build}"
 
+static_failed=0
+if [ "${static}" -eq 1 ]; then
+  for analyzer in arch_lint con_lint; do
+    bin="${build_dir}/tools/${analyzer}"
+    if [ ! -x "${bin}" ]; then
+      echo "run_lint: ${analyzer} not built in ${build_dir} — skipped" >&2
+      continue
+    fi
+    if ! "${bin}" --root "${repo_root}" \
+        --json "${build_dir}/${analyzer}_report.json"; then
+      static_failed=1
+    fi
+  done
+fi
+
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "run_lint: clang-tidy not found on PATH — ${tier} lint tier skipped" >&2
-  exit 0
+  exit "${static_failed}"
 fi
 
 if [ ! -f "${build_dir}/compile_commands.json" ]; then
@@ -116,8 +142,11 @@ if [ "${serial}" -eq 0 ] && command -v run-clang-tidy >/dev/null 2>&1; then
   # Parallel driver when available (ships with clang-tidy). It aggregates
   # per-file failures itself: nonzero exit if any file had findings.
   cd "${repo_root}"
-  exec run-clang-tidy -quiet -p "${build_dir}" ${tidy_args[0]:+"${tidy_args[@]}"} \
+  run-clang-tidy -quiet -p "${build_dir}" ${tidy_args[0]:+"${tidy_args[@]}"} \
     "${sources[@]}"
+  tidy_status=$?
+  [ "${tidy_status}" -eq 0 ] && [ "${static_failed}" -eq 0 ]
+  exit $?
 fi
 
 # Fallback: per-file loop. Failures are *counted*, never short-circuited,
@@ -139,4 +168,4 @@ for f in "${sources[@]}"; do
 done
 
 echo "run_lint: ${tier} tier: ${checked} file(s) checked, ${failed} with findings" >&2
-[ "${failed}" -eq 0 ]
+[ "${failed}" -eq 0 ] && [ "${static_failed}" -eq 0 ]
