@@ -3,16 +3,52 @@
 /// throughput per family, and the overhead the frequency-guided policy adds
 /// to a reduction pass (the paper claims the new criterion is cheap: one
 /// counter per variable plus one extra pass at reduce time).
+///
+/// Also the solver-side twin of bench_inference_latency's zero-allocation
+/// check: a counting-allocator window over a warm 100-query incremental
+/// stream (`materialize_results = false`, results read through the
+/// engine-owned buffers) must perform zero heap allocations — the dynamic
+/// cross-check of the [allocation] closure ns::hotlint gates statically.
+/// The count lands in BENCH_solver_hot_path.json as
+/// `incremental/stream100_steady_allocs` and, at NS_CHECK=0, a nonzero
+/// count fails the process.
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <new>
 #include <string>
 
+#include "audit/audit.hpp"
 #include "bench_common.hpp"
 #include "cnf/dimacs.hpp"
 #include "gen/generators.hpp"
 #include "solver/solver.hpp"
+
+// --- counting allocator (whole-TU override) -------------------------------
+
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+// The replaced operator new above is malloc-backed, so free() IS the
+// matching deallocation; GCC pairs the replaced `::operator new` symbol
+// with free() and reports a false mismatch when vector destructors inline.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace {
 
@@ -94,7 +130,7 @@ BENCHMARK(BM_DimacsRoundTrip)->Unit(benchmark::kMillisecond);
 // engine (vector-of-vectors watchers, no binary specialization) measured
 // on this same suite; "flat_arena/" rows are re-measured on every run, so
 // the checked-in JSON tracks the hot path across PRs.
-void run_hot_path_trajectory() {
+std::size_t run_hot_path_trajectory() {
   ns::bench::BenchJson json("solver_hot_path");
   json.record("seed/xor_chain_2000_mticks_per_s", 1, 9.91);
   json.record("seed/php_9_8_mticks_per_s", 1, 45.21);
@@ -183,19 +219,68 @@ void run_hot_path_trajectory() {
                 m.name, best_ms, static_cast<unsigned long long>(conflicts),
                 static_cast<unsigned long long>(collections));
   }
+  // Steady-state allocation window: re-run the warm stream with result
+  // materialization off (model/core read through the engine-owned buffers)
+  // and count global operator-new calls across one full 100-query pass.
+  // Warm passes run first until the clause arena and every side buffer
+  // reach their high-water capacity — the deterministic engine reaches an
+  // allocation-free fixed point within a few passes — then the measured
+  // window must be exactly zero.
+  std::size_t steady_allocs = 0;
+  {
+    ns::solver::SolverOptions opts;
+    opts.reduce_interval = 10;
+    opts.reduce_interval_inc = 0;
+    opts.materialize_results = false;
+    ns::solver::Solver engine{opts};
+    engine.load(sf);
+    std::vector<ns::Lit> assume(2, ns::Lit(0, false));
+    const auto stream = [&]() {
+      const std::size_t before =
+          g_alloc_count.load(std::memory_order_relaxed);
+      for (int q = 0; q < 100; ++q) {
+        assume[0] = ns::Lit(static_cast<ns::Var>((q * 7 + 1) % sf.num_vars()),
+                            q % 2 == 0);
+        assume[1] = ns::Lit(static_cast<ns::Var>((q * 13 + 5) % sf.num_vars()),
+                            q % 3 == 0);
+        benchmark::DoNotOptimize(engine.solve(assume).result);
+      }
+      return g_alloc_count.load(std::memory_order_relaxed) - before;
+    };
+    for (int warm = 0; warm < 8 && stream() != 0; ++warm) {
+    }
+    steady_allocs = stream();
+  }
+  json.record("incremental/stream100_steady_allocs", 1,
+              static_cast<double>(steady_allocs));
+  std::printf("stream100_steady_allocs %zu (0 expected)\n", steady_allocs);
   if (!json.write()) {
     std::fprintf(stderr, "failed to write BENCH_solver_hot_path.json\n");
   }
   std::printf("\n");
+  return steady_allocs;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_hot_path_trajectory();
+  const std::size_t steady_allocs = run_hot_path_trajectory();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (steady_allocs != 0) {
+    if constexpr (ns::audit::kCheckLevel == 0) {
+      std::fprintf(stderr,
+                   "FAIL: warm incremental stream allocated %zu time(s) in "
+                   "steady state\n",
+                   steady_allocs);
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "note: %zu steady-state allocation(s) tolerated at "
+                 "NS_CHECK=%d (audit checkpoints allocate)\n",
+                 steady_allocs, ns::audit::kCheckLevel);
+  }
   return 0;
 }

@@ -109,6 +109,9 @@ class EngineAuditListener final : public solver::EngineListener {
   void on_assignment(Lit l, std::uint32_t level, bool propagated) override {
     (void)level;
     (void)propagated;
+    // NS_SUPPRESS(allocation, throw, blocking): NS_CHECK>=2 auditing only —
+    // this listener is never attached on the production hot path, and its
+    // diagnostics allocate and throw by design.
     enforce(check_assignment(ctx_, l), "audit::on_assignment");
   }
   void on_conflict(std::uint64_t conflicts, std::uint32_t conflict_level,

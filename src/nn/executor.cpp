@@ -27,6 +27,10 @@ void for_each_output_row(std::size_t rows, std::size_t total_ops,
     body(0, rows);
     return;
   }
+  // NS_SUPPRESS(blocking, allocation): pool dispatch engages only above
+  // kMinParallelOps with a multi-thread pool; the steady-state inference
+  // contract is measured on the inline branch above, and dispatch cost is
+  // amortized over >=2^15 multiply-adds when taken.
   runtime::global_pool().parallel_for(rows, body);
 }
 
@@ -160,6 +164,9 @@ const Matrix& Executor::value(TensorId id) const {
   const Inst& in = prog_->at(id);
   if (!is_leaf(in.op) &&
       last_use_[id.idx] < static_cast<std::int32_t>(prog_->num_insts())) {
+    // NS_SUPPRESS(throw, allocation): cold misuse guard — a correctly
+    // planned session only reads program outputs, so this path is never
+    // taken in steady state.
     throw std::logic_error(
         std::string("Executor::value: node ") + std::to_string(id.idx) + " (" +
         op_name(in.op) +
@@ -207,6 +214,7 @@ void Executor::allocate_grads() {
 // exactly (copy-then-update collapses to a single expression with the same
 // rounding), so values are bitwise identical to the pre-split implementation.
 
+// NS_HOT(the planned-program interpreter loop — every inference runs it)
 void Executor::forward() {
   const std::int32_t n = static_cast<std::int32_t>(prog_->num_insts());
   for (std::int32_t i = 0; i < n; ++i) {

@@ -5,6 +5,8 @@
 /// update), and the executor's elementwise ops (relu, add, bias-add, row
 /// scaling, ...).
 ///
+/// NS_HOT(every kernel here is a dense inner loop under runtime ISA dispatch)
+///
 /// Dispatch contract: every kernel returns `bool`. `true` means the SIMD
 /// tier handled the call; `false` means the caller must run its own scalar
 /// loop — which stays in the calling TU, unchanged, as the source of truth

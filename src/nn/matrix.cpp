@@ -27,6 +27,9 @@ void for_each_output_row(std::size_t rows, std::size_t total_ops,
     body(0, rows);
     return;
   }
+  // NS_SUPPRESS(blocking, allocation): pool dispatch is taken only above
+  // the kMinParallelOps work floor; per-clause steady-state inference stays
+  // on the inline branch above (hot_lint tracks the hazard there).
   runtime::global_pool().parallel_for(rows, body);
 }
 

@@ -64,6 +64,9 @@ class Matrix {
   void reshape(std::size_t rows, std::size_t cols) {
     rows_ = rows;
     cols_ = cols;
+    // NS_SUPPRESS(allocation): resize within reserve()d capacity never
+    // reallocates (the executor reserves peak slot extents at bind time);
+    // growth happens only on first use of a larger shape.
     data_.resize(rows * cols);
   }
 

@@ -175,6 +175,7 @@ InferenceSession::InferenceSession(SatClassifier& model, const GraphBatch& g)
     : logit_(model.forward_logit(tape_, g)),
       exec_(make_verified_executor(tape_.program(), ExecMode::kInference)) {}
 
+// NS_HOT(per-query inference entry point: one planned forward per predict)
 float InferenceSession::predict_probability() {
   exec_->forward();
   const float x = exec_->value(logit_).at(0, 0);
@@ -191,6 +192,7 @@ BatchedInferenceSession::BatchedInferenceSession(SatClassifier& model,
       exec_(make_verified_executor(tape_.program(), ExecMode::kInference)),
       probs_(p.num_graphs, 0.0f) {}
 
+// NS_HOT(batched inference entry point: one block-diagonal forward per round)
 const std::vector<float>& BatchedInferenceSession::predict_probabilities() {
   exec_->forward();
   const Matrix& logits = exec_->value(logits_);

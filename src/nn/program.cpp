@@ -52,6 +52,8 @@ const char* op_name(Op op) {
 
 const Inst& Program::at(TensorId id) const {
   if (!id.valid() || static_cast<std::size_t>(id.idx) >= insts_.size()) {
+    // NS_SUPPRESS(throw, allocation): cold bounds guard — ids handed out
+    // by the tape are always valid, so a verified program never takes it.
     throw std::invalid_argument(
         "tape: TensorId " + std::to_string(id.idx) +
         " does not name a recorded node (program has " +

@@ -93,6 +93,10 @@ void SparseMatrix::multiply_into(const Matrix& x, Matrix& y) const {
       runtime::global_pool().effective_size() <= 1) {
     rows_body(0, rows_);
   } else {
+    // NS_SUPPRESS(blocking, allocation): pool dispatch is taken only above
+    // the kMinParallelOps work floor, where latency is dominated by the
+    // SpMM itself; steady-state per-clause queries stay on the inline
+    // branch above.
     runtime::global_pool().parallel_for(rows_, rows_body);
   }
 }

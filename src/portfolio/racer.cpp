@@ -66,6 +66,31 @@ struct Sweep {
   std::optional<Candidate> best NS_GUARDED_BY(mutex);
 };
 
+// NS_HOT(once per mid-round lane decision: publish winner, cancel losers)
+/// Under the sweep lock, promotes `cand` (the deciding `lane`'s candidate)
+/// to the round best and interrupts every rival whose tick watermark
+/// already proves a worse (ticks, id) — the watermark only under-reports,
+/// so a rival that still could win is never hit. Declared `root` + `slack`
+/// in src/HOTPATHS.txt: the mutex here is the one sanctioned hot-path
+/// lock, held for an O(lanes) flag sweep.
+void sweep_decided(Sweep& sweep, const Candidate& cand,
+                   std::vector<Lane>& lanes,
+                   const std::vector<std::size_t>& active, const Lane& lane,
+                   const std::vector<std::unique_ptr<solver::Solver>>& engines) {
+  // NS_SUPPRESS(blocking): this is the slack-sanctioned sweep lock — held
+  // for an O(lanes) flag pass, never across a solve slice.
+  runtime::MutexLock lock(sweep.mutex);
+  if (!sweep.best || beats(cand, *sweep.best)) sweep.best = cand;
+  for (std::size_t j : active) {
+    Lane& rival = lanes[j];
+    if (&rival == &lane) continue;
+    const solver::Solver& reng = *engines[rival.engine];
+    const Candidate seen{reng.ticks_observed() - rival.base_ticks,
+                         rival.rec.config_id};
+    if (beats(*sweep.best, seen)) engines[rival.engine]->interrupt();
+  }
+}
+
 }  // namespace
 
 PortfolioRacer::PortfolioRacer(const EngineConfigRegistry& registry,
@@ -160,22 +185,12 @@ RaceResult PortfolioRacer::run_race(bool all,
 
         if (options_.eager_cancel &&
             lane.last.result != solver::SatResult::kUnknown) {
-          // This lane decided mid-round. Under the sweep lock, promote it
-          // to the candidate best and interrupt every rival whose watermark
-          // already proves a worse (ticks, id) — the watermark only
-          // under-reports, so a rival that still could win is never hit.
-          const Candidate cand{eng.stats().ticks - lane.base_ticks,
-                               lane.rec.config_id};
-          runtime::MutexLock lock(sweep.mutex);
-          if (!sweep.best || beats(cand, *sweep.best)) sweep.best = cand;
-          for (std::size_t j : active) {
-            Lane& rival = lanes[j];
-            if (&rival == &lane) continue;
-            const solver::Solver& reng = *engines_[rival.engine];
-            const Candidate seen{reng.ticks_observed() - rival.base_ticks,
-                                 rival.rec.config_id};
-            if (beats(*sweep.best, seen)) engines_[rival.engine]->interrupt();
-          }
+          // This lane decided mid-round: publish it through the sweep
+          // mutex and eagerly cancel provably-lost rivals.
+          sweep_decided(sweep,
+                        Candidate{eng.stats().ticks - lane.base_ticks,
+                                  lane.rec.config_id},
+                        lanes, active, lane, engines_);
         }
       }
     };

@@ -12,22 +12,12 @@ void Analyzer::reset(std::size_t num_vars) {
   level_stamp_time_ = 0;
 }
 
-std::uint32_t Analyzer::compute_glue(const std::vector<Lit>& lits) {
-  ++level_stamp_time_;
-  std::uint32_t glue = 0;
-  for (Lit l : lits) {
-    const std::uint32_t lv = ctx_.trail.level(l.var());
-    if (level_stamp_[lv] != level_stamp_time_) {
-      level_stamp_[lv] = level_stamp_time_;
-      ++glue;
-    }
-  }
-  return glue;
-}
-
 bool Analyzer::lit_redundant(Lit l, std::uint32_t abstract_levels) {
   const Trail& trail = ctx_.trail;
   minimize_stack_.clear();
+  // NS_SUPPRESS(allocation): persistent scratch — reaches its high-water
+  // mark (bounded by trail depth) after warmup and never reallocates in
+  // steady state.
   minimize_stack_.push_back(l);
   const std::size_t top = analyze_clear_.size();
   while (!minimize_stack_.empty()) {
@@ -49,11 +39,16 @@ bool Analyzer::lit_redundant(Lit l, std::uint32_t abstract_levels) {
         for (std::size_t t = top; t < analyze_clear_.size(); ++t) {
           seen_[analyze_clear_[t].var()] = 0;
         }
+        // NS_SUPPRESS(allocation): shrink-only resize (top <= size), which
+        // never reallocates.
         analyze_clear_.resize(top);
         return false;
       }
       seen_[v] = 1;
+      // NS_SUPPRESS(allocation): persistent scratch, bounded by trail
+      // depth; high-water capacity is reached after warmup.
       minimize_stack_.push_back(q);
+      // NS_SUPPRESS(allocation): same persistent-scratch bound as above.
       analyze_clear_.push_back(q);
       return true;
     };
@@ -71,12 +66,15 @@ bool Analyzer::lit_redundant(Lit l, std::uint32_t abstract_levels) {
   return true;
 }
 
+// NS_HOT(runs once per conflict — the second-hottest solver loop after BCP)
 void Analyzer::analyze(Decider& decider, ClauseRef conflict,
                        std::vector<Lit>& learned,
                        std::uint32_t& backjump_level, std::uint32_t& glue) {
   const Trail& trail = ctx_.trail;
   const std::uint32_t current_level = trail.decision_level();
   learned.clear();
+  // NS_SUPPRESS(allocation): `learned` is the solver's reused conflict
+  // buffer; capacity persists across conflicts (high-water mark).
   learned.push_back(Lit::undef());  // slot for the asserting (UIP) literal
   analyze_clear_.clear();
 
@@ -91,8 +89,8 @@ void Analyzer::analyze(Decider& decider, ClauseRef conflict,
       ctx_.bump_clause(c);
       c.set_used(true);
       // Glucose-style dynamic LBD refresh: keep the smallest observed glue.
-      std::vector<Lit> lits(c.begin(), c.end());
-      const std::uint32_t fresh = compute_glue(lits);
+      // compute_glue scores the clause view in place — no copy.
+      const std::uint32_t fresh = compute_glue(c);
       if (fresh < c.glue()) c.set_glue(fresh);
     }
 
@@ -105,7 +103,9 @@ void Analyzer::analyze(Decider& decider, ClauseRef conflict,
       if (trail.level(v) >= current_level) {
         ++path_count;
       } else {
+        // NS_SUPPRESS(allocation): reused conflict buffer (high-water mark).
         learned.push_back(q);
+        // NS_SUPPRESS(allocation): persistent scratch (high-water mark).
         analyze_clear_.push_back(q);
       }
     };
@@ -143,6 +143,8 @@ void Analyzer::analyze(Decider& decider, ClauseRef conflict,
       learned[out++] = l;
     }
   }
+  // NS_SUPPRESS(allocation): shrink-only resize (out <= size) after
+  // minimization; never reallocates.
   learned.resize(out);
   ctx_.stats.minimized_literals += before - learned.size();
 

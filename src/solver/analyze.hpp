@@ -41,7 +41,25 @@ class Analyzer {
   void analyze_final(Lit failed, std::vector<Lit>& out);
 
  private:
-  std::uint32_t compute_glue(const std::vector<Lit>& lits);
+  /// Number of distinct decision levels among `lits` (the LBD / "glue").
+  /// Stamp-based: bumping level_stamp_time_ invalidates every previous
+  /// mark, so there is no per-call clearing and no allocation. Accepts any
+  /// Lit range (ClauseView, std::vector<Lit>) so callers never copy a
+  /// clause to score it.
+  template <typename LitRange>
+  std::uint32_t compute_glue(const LitRange& lits) {
+    ++level_stamp_time_;
+    std::uint32_t glue = 0;
+    for (const Lit l : lits) {
+      const std::uint32_t lv = ctx_.trail.level(l.var());
+      if (level_stamp_[lv] != level_stamp_time_) {
+        level_stamp_[lv] = level_stamp_time_;
+        ++glue;
+      }
+    }
+    return glue;
+  }
+
   bool lit_redundant(Lit l, std::uint32_t abstract_levels);
 
   SearchContext& ctx_;

@@ -94,6 +94,7 @@ void Decider::on_unassign(Var v, LBool erased_value) {
   }
 }
 
+// NS_HOT(runs once per decision; VSIDS/VMTF heap operations dominate)
 Lit Decider::pick() {
   Var v = kNoVar;
   if (ctx_.options->random_decision_freq > 0.0) {

@@ -110,6 +110,9 @@ class ListenerChain final : public EngineListener {
   void clear() { chain_.clear(); }
 
   void on_assignment(Lit l, std::uint32_t level, bool propagated) override {
+    // NS_SUPPRESS(virtual-dispatch): fan-out is the chain's documented
+    // contract; the chain is fixed at attach time and holds at most a
+    // handful of listeners, so the indirect calls are bounded per event.
     for (EngineListener* e : chain_) e->on_assignment(l, level, propagated);
   }
   void on_conflict(std::uint64_t conflicts, std::uint32_t conflict_level,

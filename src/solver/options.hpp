@@ -68,6 +68,16 @@ struct SolverOptions {
   std::uint64_t max_conflicts = 0;
   std::uint64_t max_propagations = 0;
 
+  // --- result materialization ----------------------------------------------
+  /// true (default): every solve() hands back owning copies of the model
+  /// and the failed-assumption core in its SolveOutcome — one heap
+  /// allocation per decided query. false: SolveOutcome.model/.core stay
+  /// empty and callers read the engine-owned buffers via
+  /// Solver::last_model() / failed_assumptions() instead (valid until the
+  /// next query) — the allocation-free steady state bench_micro_solver's
+  /// counting-allocator window enforces for latency-critical streams.
+  bool materialize_results = true;
+
   // --- determinism -----------------------------------------------------------
   std::uint64_t seed = 0;  ///< seeds the (rarely used) random branch picker
 };

@@ -53,6 +53,7 @@ void Propagator::remap_watches(const ClauseDb& db) {
   }
 }
 
+// NS_HOT(the BCP inner loop — the single hottest path in the solver)
 ClauseRef Propagator::propagate() {
   // Safe point: no list iteration is in flight between propagate calls.
   watches_.maybe_defrag();

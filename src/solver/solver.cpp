@@ -128,12 +128,11 @@ void Solver::backtrack(std::uint32_t target_level) {
       std::min(ctx_.trail.assumption_levels, ctx_.trail.decision_level());
 }
 
-Model Solver::extract_model() const {
-  Model m(ctx_.num_vars, false);
+void Solver::extract_model() {
+  model_.resize(ctx_.num_vars);  // reuses capacity after the first query
   for (Var v = 0; v < ctx_.num_vars; ++v) {
-    m[v] = ctx_.trail.value(v) == LBool::kTrue;
+    model_[v] = ctx_.trail.value(v) == LBool::kTrue;
   }
-  return m;
 }
 
 SolveOutcome Solver::solve() { return solve_with_assumptions({}); }
@@ -223,7 +222,7 @@ StopReason Solver::stop_reason() const {
 }
 
 SolveOutcome Solver::finish_query(SolveOutcome out) {
-  out.core = failed_assumptions_;
+  if (options_.materialize_results) out.core = failed_assumptions_;
   out.stats = ctx_.stats.delta_since(query_base_);
   // Between queries the probe is exact, so racers can settle tie-breaks
   // against the true per-query tick count.
@@ -243,6 +242,7 @@ SolveOutcome Solver::solve_with_assumptions(
 
   SolveOutcome out;
   failed_assumptions_.clear();
+  model_.clear();  // keeps capacity — no steady-state allocation
   state_ = EngineState::kSolving;
   ++stats.queries;
   backtrack(0);     // allow repeated incremental calls
@@ -357,7 +357,8 @@ SolveOutcome Solver::solve_with_assumptions(
       if (!next.is_defined()) {
         if (trail.size() == ctx_.num_vars) {
           out.result = SatResult::kSat;
-          out.model = extract_model();
+          extract_model();
+          if (options_.materialize_results) out.model = model_;
           break;
         }
         if (const StopReason why = stop_reason();

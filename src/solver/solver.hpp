@@ -172,6 +172,12 @@ class Solver {
     return failed_assumptions_;
   }
 
+  /// Engine-owned model of the last kSat query (empty otherwise); valid
+  /// until the next solve(). With `options.materialize_results == false`
+  /// this is the only way to read the model — the buffer is reused across
+  /// queries, so warm streams extract it without heap allocation.
+  const Model& last_model() const { return model_; }
+
   /// Lifetime counters, accumulated across all queries since load(). Note
   /// `max_trail` here is the watermark of the *current* query (it re-arms
   /// at each query begin); the lifetime peak is `lifetime_max_trail()`.
@@ -218,7 +224,8 @@ class Solver {
   void reset(std::size_t num_vars);
   bool add_input_clause(const Clause& clause);
   void backtrack(std::uint32_t target_level);
-  Model extract_model() const;
+  /// Fills the reusable `model_` buffer from the complete trail.
+  void extract_model();
 
   /// The common query epilogue (every solve() exit path): fills in the
   /// core, computes the per-query stats delta, snapshots the new baseline,
@@ -259,6 +266,7 @@ class Solver {
 
   // incremental solving
   std::vector<Lit> failed_assumptions_;
+  Model model_;  ///< reused across queries; see last_model()
   Budget budget_;                        ///< per-query limits (sticky)
   /// Sticky until clear_interrupt().
   /// NS_ATOMIC(relaxed): pure flag — no payload is published through it.

@@ -65,6 +65,9 @@ class Trail {
     values_[v] = to_lbool(!l.negated());
     level_[v] = decision_level();
     reason_[v] = reason;
+    // NS_SUPPRESS(allocation): trail_ is reserved for num_vars at reset()
+    // and can never hold more than one entry per variable, so push_back
+    // never reallocates.
     trail_.push_back(l);
   }
 

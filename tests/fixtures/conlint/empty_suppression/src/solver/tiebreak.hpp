@@ -1,0 +1,16 @@
+#pragma once
+// Fixture: NS_SUPPRESS with an empty rationale. The marker grammar is
+// `NS_SUPPRESS(<rule>): <why>` — the colon must be followed by an actual
+// explanation, so the bare marker below suppresses nothing.
+
+#include <random>
+
+namespace fixture {
+
+inline unsigned pick() {
+  // NS_SUPPRESS(randomness):
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace fixture

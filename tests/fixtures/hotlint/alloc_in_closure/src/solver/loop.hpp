@@ -1,0 +1,17 @@
+#pragma once
+// Fixture: the hot root's callee pushes into a vector with no capacity
+// proof and no NS_SUPPRESS(allocation) rationale.
+
+#include <vector>
+
+namespace fixture {
+
+inline void record(std::vector<int>& log, int x) { log.push_back(x); }
+
+// NS_HOT(fixture inner loop)
+inline int step(std::vector<int>& log, int x) {
+  record(log, x);
+  return x + 1;
+}
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+#pragma once
+// Fixture: the manifest points at Phantom::propagate, which is not here.
+
+namespace fixture {
+
+inline int step(int x) { return x + 1; }
+
+}  // namespace fixture

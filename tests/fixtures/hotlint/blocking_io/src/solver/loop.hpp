@@ -1,0 +1,17 @@
+#pragma once
+// Fixture: the hot root's callee logs through std::cerr — unbounded-
+// latency I/O inside the closure.
+
+#include <iostream>
+
+namespace fixture {
+
+inline void trace(int x) { std::cerr << "step " << x << '\n'; }
+
+// NS_HOT(fixture inner loop)
+inline int step(int x) {
+  trace(x);
+  return x + 1;
+}
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+#pragma once
+// Fixture: a declared hot root with no NS_HOT marker above its definition.
+
+namespace fixture {
+
+inline int step(int x) { return x + 1; }
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+#pragma once
+// Fixture: self-recursion reachable from the root — stack depth scales
+// with the input instead of staying O(1).
+
+namespace fixture {
+
+// NS_HOT(fixture inner loop)
+inline int descend(int x) {
+  if (x <= 0) return 0;
+  return 1 + descend(x - 1);
+}
+
+}  // namespace fixture

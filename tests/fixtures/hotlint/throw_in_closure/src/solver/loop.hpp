@@ -1,0 +1,17 @@
+#pragma once
+// Fixture: the hot root's callee throws on a range check — unwinding from
+// the hot path with no NS_SUPPRESS(throw) cold-guard rationale.
+
+#include <stdexcept>
+
+namespace fixture {
+
+inline int checked(int x) {
+  if (x < 0) throw std::out_of_range("negative");
+  return x;
+}
+
+// NS_HOT(fixture inner loop)
+inline int step(int x) { return checked(x) + 1; }
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+#pragma once
+// Fixture: per-element virtual dispatch in the hot loop — the vtable
+// indirection defeats inlining exactly where it matters most.
+
+#include <cstddef>
+
+namespace fixture {
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void consume(int x) = 0;
+};
+
+// NS_HOT(fixture inner loop)
+inline void drain(Sink& sink, const int* xs, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    sink.consume(xs[i]);
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+# Negative-test driver for ns::hotlint (mirrors conlint_case.cmake): runs
+# hot_lint over a seeded fixture tree under tests/fixtures/hotlint/ and
+# asserts that
+#   (a) the run exits nonzero, and
+#   (b) the diagnostic names the expected rule ([manifest], [hot-marker],
+#       [allocation], [throw], [blocking], [virtual-dispatch], or
+#       [recursion]).
+#
+# Variables (passed via -D): HOT_LINT, ROOT, EXPECT_RULE.
+
+foreach(required HOT_LINT ROOT EXPECT_RULE)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "hotlint_case: ${required} not set")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${HOT_LINT}" --root "${ROOT}"
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE res)
+message(STATUS "hot_lint exit ${res}\n${out}${err}")
+
+if(res EQUAL 0)
+  message(FATAL_ERROR
+      "hotlint_case: expected a [${EXPECT_RULE}] violation in ${ROOT}, "
+      "but hot_lint exited 0")
+endif()
+if(NOT out MATCHES "\\[${EXPECT_RULE}\\]")
+  message(FATAL_ERROR
+      "hotlint_case: hot_lint exited ${res} but emitted no "
+      "[${EXPECT_RULE}] diagnostic")
+endif()

@@ -222,6 +222,44 @@ TEST(IncrementalTest, CoreIsSubsetAndUnsatWhenReasserted) {
   EXPECT_EQ(s.solve().result, SatResult::kSat);
 }
 
+TEST(IncrementalTest, UnmaterializedResultsMatchEngineBuffers) {
+  const CnfFormula f = gen::graph_coloring(8, 0.4, 3, 2);  // satisfiable
+
+  Solver owning{SolverOptions{}};
+  owning.load(f);
+  SolverOptions lean_opts;
+  lean_opts.materialize_results = false;
+  Solver lean{lean_opts};
+  lean.load(f);
+
+  // SAT query: the lean outcome carries no model, but last_model() holds
+  // the same assignment the materializing engine hands out by value.
+  const SolveOutcome sat_owning = owning.solve();
+  const SolveOutcome sat_lean = lean.solve();
+  ASSERT_EQ(sat_owning.result, SatResult::kSat);
+  ASSERT_EQ(sat_lean.result, SatResult::kSat);
+  EXPECT_TRUE(sat_lean.model.empty());
+  EXPECT_EQ(sat_owning.model, owning.last_model());
+  EXPECT_EQ(lean.last_model(), owning.last_model());
+
+  // UNSAT-under-assumptions query: no owned core, but failed_assumptions()
+  // agrees with the materializing engine's copy.
+  const std::vector<Lit> assume = {Lit(0, false), Lit(1, false),
+                                   Lit(5, false)};
+  const SolveOutcome un_owning = owning.solve(assume);
+  const SolveOutcome un_lean = lean.solve(assume);
+  ASSERT_EQ(un_owning.result, SatResult::kUnsat);
+  ASSERT_EQ(un_lean.result, SatResult::kUnsat);
+  EXPECT_TRUE(un_lean.core.empty());
+  ASSERT_FALSE(un_owning.core.empty());
+  EXPECT_EQ(lean.failed_assumptions(), un_owning.core);
+  // The engine-owned model buffer re-arms per query: empty after UNSAT.
+  EXPECT_TRUE(lean.last_model().empty());
+
+  // And identical trajectories: the lean engine did the same search.
+  expect_same_query_stats(un_owning.stats, un_lean.stats, "lean-vs-owning");
+}
+
 TEST(IncrementalTest, AddClauseEnumeratesModels) {
   // (x0 v x1) over three variables has 6 models; enumerate them by
   // blocking each found model with add_clause until UNSAT.

@@ -8,7 +8,8 @@
 //   arch_lint: [<rule>] <file>: <message>
 //
 // and optionally as a JSON report (--json). Exit 0 = clean, 1 = violations,
-// 2 = usage/manifest error.
+// 2 = usage/manifest error. Scanner/report machinery shared with the other
+// analyzers lives in lint_common.hpp.
 //
 // Rules:
 //   manifest           malformed manifest, unknown dep name, or an on-disk
@@ -34,7 +35,6 @@
 // cycle check; `*` allows every layer as a dependency. App directories may
 // include any layer (and their own files) but never another app.
 
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -45,14 +45,18 @@
 #include <set>
 #include <sstream>
 #include <string>
-#include <tuple>
 #include <vector>
 
 #ifndef _WIN32
 #include <unistd.h>  // getpid, for the temp-dir suffix
 #endif
 
+#include "lint_common.hpp"
+
 namespace fs = std::filesystem;
+
+using ns::lint::to_generic;
+using ns::lint::Violation;
 
 namespace {
 
@@ -68,12 +72,6 @@ struct Manifest {
   std::vector<std::string> apps;
 };
 
-struct Violation {
-  std::string rule;
-  std::string file;   // repo-root-relative path (or manifest path)
-  std::string message;
-};
-
 struct Options {
   fs::path root;
   fs::path manifest_path;  // empty = <root>/src/LAYERS.txt
@@ -87,11 +85,14 @@ void usage(std::FILE* out) {
   std::fputs(
       "usage: arch_lint --root <repo-root> [--manifest <LAYERS.txt>]\n"
       "                 [--json <report.json>] [--compile-headers]\n"
-      "                 [--compiler <c++-driver>] [--verbose]\n",
+      "                 [--compiler <c++-driver>] [--list-rules]\n"
+      "                 [--verbose]\n",
       out);
 }
 
-std::string to_generic(const fs::path& p) { return p.generic_string(); }
+const std::vector<const char*> kRules = {
+    "manifest",       "layering",           "layer-cycle",   "include-cycle",
+    "relative-include", "unresolved-include", "self-contained"};
 
 /// Parses src/LAYERS.txt. Syntax errors are reported as `manifest`
 /// violations; the returned manifest holds whatever parsed cleanly.
@@ -115,7 +116,7 @@ Manifest parse_manifest(const fs::path& path, std::vector<Violation>& out) {
     std::string kind;
     if (!(tokens >> kind)) continue;  // blank / comment-only line
     const auto bad = [&](const std::string& why) {
-      out.push_back({"manifest", to_generic(path),
+      out.push_back({"manifest", to_generic(path), 0,
                      "line " + std::to_string(lineno) + ": " + why});
     };
     if (kind == "app") {
@@ -158,7 +159,7 @@ Manifest parse_manifest(const fs::path& path, std::vector<Violation>& out) {
   }
   for (const auto& [from, dep] : pending_deps) {
     if (!m.layers.count(dep)) {
-      out.push_back({"manifest", to_generic(path),
+      out.push_back({"manifest", to_generic(path), 0,
                      "layer `" + from + "` depends on undeclared layer `" +
                          dep + "`"});
     }
@@ -166,71 +167,15 @@ Manifest parse_manifest(const fs::path& path, std::vector<Violation>& out) {
   return m;
 }
 
-bool is_source_ext(const fs::path& p) {
-  const std::string e = p.extension().string();
-  return e == ".hpp" || e == ".h" || e == ".cpp" || e == ".cc" || e == ".inc";
-}
-
-/// All project source files under <root>/<dir>, root-relative, sorted.
-/// A subdirectory holding its own src/LAYERS.txt is a nested archcheck
-/// root (e.g. the seeded fixture trees under tests/fixtures/archcheck/)
-/// and is not part of this tree; hidden directories are skipped too.
-std::vector<fs::path> collect_sources(const fs::path& root,
-                                      const std::string& dir) {
-  std::vector<fs::path> files;
-  const fs::path base = root / dir;
-  if (!fs::exists(base)) return files;
-  for (auto it = fs::recursive_directory_iterator(base);
-       it != fs::recursive_directory_iterator(); ++it) {
-    const fs::directory_entry& entry = *it;
-    if (entry.is_directory()) {
-      const std::string name = entry.path().filename().string();
-      if ((!name.empty() && name[0] == '.') ||
-          fs::exists(entry.path() / "src" / "LAYERS.txt")) {
-        it.disable_recursion_pending();
-      }
-      continue;
-    }
-    if (entry.is_regular_file() && is_source_ext(entry.path())) {
-      files.push_back(fs::relative(entry.path(), root));
-    }
-  }
-  std::sort(files.begin(), files.end());
-  return files;
-}
-
 /// Quoted includes of one file, in order. Angle includes are ignored
-/// (system/third-party); block comments are tracked so commented-out
-/// directives do not count.
+/// (system/third-party); the shared splitter tracks block comments so
+/// commented-out directives do not count.
 std::vector<std::string> quoted_includes(const fs::path& file) {
   static const std::regex kInclude(R"(^\s*#\s*include\s*"([^"]+)\")");
   std::vector<std::string> found;
-  std::ifstream in(file);
-  std::string line;
-  bool in_block_comment = false;
-  while (std::getline(in, line)) {
-    std::string code;
-    code.reserve(line.size());
-    for (std::size_t i = 0; i < line.size();) {
-      if (in_block_comment) {
-        if (line.compare(i, 2, "*/") == 0) {
-          in_block_comment = false;
-          i += 2;
-        } else {
-          ++i;
-        }
-      } else if (line.compare(i, 2, "/*") == 0) {
-        in_block_comment = true;
-        i += 2;
-      } else if (line.compare(i, 2, "//") == 0) {
-        break;
-      } else {
-        code.push_back(line[i]);
-        ++i;
-      }
-    }
+  for (const ns::lint::LineParts& parts : ns::lint::split_lines(file)) {
     std::smatch match;
-    if (std::regex_search(code, match, kInclude)) {
+    if (std::regex_search(parts.code, match, kInclude)) {
       found.push_back(match[1].str());
     }
   }
@@ -273,62 +218,6 @@ std::optional<fs::path> resolve_include(const fs::path& root,
     return fs::relative(fs::weakly_canonical(rooted), root);
   }
   return std::nullopt;
-}
-
-/// DFS cycle finder over a string-keyed adjacency map. Returns one witness
-/// cycle per strongly-entangled region (first back edge found from each
-/// unvisited node), formatted "a -> b -> a".
-std::vector<std::string> find_cycles(
-    const std::map<std::string, std::set<std::string>>& adj) {
-  std::vector<std::string> cycles;
-  std::map<std::string, int> color;  // 0 = white, 1 = on stack, 2 = done
-  std::vector<std::string> stack;
-  std::set<std::string> in_reported_cycle;
-
-  struct Frame {
-    std::string node;
-    std::set<std::string>::const_iterator next, end;
-  };
-  for (const auto& [start, unused] : adj) {
-    (void)unused;
-    if (color[start] != 0) continue;
-    std::vector<Frame> frames;
-    const auto push = [&](const std::string& n) {
-      color[n] = 1;
-      stack.push_back(n);
-      static const std::set<std::string> kEmpty;
-      const auto it = adj.find(n);
-      const auto& succ = it == adj.end() ? kEmpty : it->second;
-      frames.push_back({n, succ.begin(), succ.end()});
-    };
-    push(start);
-    while (!frames.empty()) {
-      Frame& top = frames.back();
-      if (top.next == top.end) {
-        color[top.node] = 2;
-        stack.pop_back();
-        frames.pop_back();
-        continue;
-      }
-      const std::string succ = *top.next++;
-      if (color[succ] == 1) {
-        // Back edge: the cycle is the stack suffix from succ.
-        const auto begin =
-            std::find(stack.begin(), stack.end(), succ);
-        bool fresh = false;
-        std::string text;
-        for (auto it2 = begin; it2 != stack.end(); ++it2) {
-          if (in_reported_cycle.insert(*it2).second) fresh = true;
-          text += *it2 + " -> ";
-        }
-        text += succ;
-        if (fresh) cycles.push_back(text);
-      } else if (color[succ] == 0) {
-        push(succ);
-      }
-    }
-  }
-  return cycles;
 }
 
 std::string shell_quote(const std::string& s) {
@@ -403,34 +292,13 @@ void check_self_contained(const Options& opt,
           break;
         }
       }
-      out.push_back({"self-contained", to_generic(rel),
+      out.push_back({"self-contained", to_generic(rel), 0,
                      "header does not compile standalone: " + first_error});
     } else if (opt.verbose) {
       std::fprintf(stderr, "arch_lint: header ok: %s\n", inc.c_str());
     }
   }
   fs::remove_all(tmp, ec);
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
 }
 
 }  // namespace
@@ -456,6 +324,9 @@ int main(int argc, char** argv) {
       opt.compile_headers = true;
     } else if (arg == "--compiler") {
       opt.compiler = value();
+    } else if (arg == "--list-rules") {
+      ns::lint::print_rules(kRules);
+      return 0;
     } else if (arg == "--verbose") {
       opt.verbose = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -491,15 +362,17 @@ int main(int argc, char** argv) {
     const std::string name = entry.path().filename().string();
     if (!manifest.layers.count(name)) {
       violations.push_back(
-          {"manifest", "src/" + name,
+          {"manifest", "src/" + name, 0,
            "subsystem directory is not declared in the layer manifest"});
     }
   }
 
   // Collect sources: src/ plus each declared app directory.
-  std::vector<fs::path> files = collect_sources(opt.root, "src");
+  const fs::path nested_marker = fs::path("src") / "LAYERS.txt";
+  std::vector<fs::path> files =
+      ns::lint::collect_sources(opt.root, "src", nested_marker);
   for (const auto& app : manifest.apps) {
-    auto extra = collect_sources(opt.root, app);
+    auto extra = ns::lint::collect_sources(opt.root, app, nested_marker);
     files.insert(files.end(), extra.begin(), extra.end());
   }
 
@@ -515,7 +388,7 @@ int main(int argc, char** argv) {
     for (const std::string& inc : quoted_includes(opt.root / rel)) {
       if (inc.find("..") != std::string::npos) {
         violations.push_back(
-            {"relative-include", rel_str,
+            {"relative-include", rel_str, 0,
              "include \"" + inc + "\" uses a `..` path; include via the "
              "src/-rooted path instead"});
         continue;
@@ -523,7 +396,7 @@ int main(int argc, char** argv) {
       const auto target = resolve_include(opt.root, rel, inc);
       if (!target) {
         violations.push_back(
-            {"unresolved-include", rel_str,
+            {"unresolved-include", rel_str, 0,
              "include \"" + inc + "\" resolves to no project file (quoted "
              "includes are reserved for project headers)"});
         continue;
@@ -548,7 +421,7 @@ int main(int argc, char** argv) {
     if (is_app(from)) {
       if (is_app(to)) {
         violations.push_back(
-            {"layering", witness.witness_file,
+            {"layering", witness.witness_file, 0,
              "app `" + from + "` includes \"" + witness.witness_include +
                  "\" from app `" + to + "`; apps must not depend on "
                  "each other"});
@@ -557,7 +430,7 @@ int main(int argc, char** argv) {
     }
     if (is_app(to)) {
       violations.push_back(
-          {"layering", witness.witness_file,
+          {"layering", witness.witness_file, 0,
            "layer `" + from + "` includes \"" + witness.witness_include +
                "\" from app `" + to + "`; layers must not reach into apps"});
       continue;
@@ -567,7 +440,7 @@ int main(int argc, char** argv) {
     const Layer& layer = it->second;
     if (!layer.any_dep && !layer.deps.count(to)) {
       violations.push_back(
-          {"layering", witness.witness_file,
+          {"layering", witness.witness_file, 0,
            "include \"" + witness.witness_include + "\" creates edge `" +
                from + " -> " + to + "`, which src/LAYERS.txt does not "
                "declare"});
@@ -585,8 +458,8 @@ int main(int argc, char** argv) {
     if (it != manifest.layers.end() && it->second.observer) continue;
     layer_adj[from].insert(to);
   }
-  for (const std::string& cycle : find_cycles(layer_adj)) {
-    violations.push_back({"layer-cycle", "src",
+  for (const std::string& cycle : ns::lint::find_cycles(layer_adj)) {
+    violations.push_back({"layer-cycle", "src", 0,
                           "subsystem dependency cycle: " + cycle});
   }
   // The declared graph must itself be a DAG (manifest sanity).
@@ -595,15 +468,15 @@ int main(int argc, char** argv) {
     if (layer.observer) continue;
     declared_adj[name] = layer.deps;
   }
-  for (const std::string& cycle : find_cycles(declared_adj)) {
+  for (const std::string& cycle : ns::lint::find_cycles(declared_adj)) {
     violations.push_back(
-        {"layer-cycle", to_generic(opt.manifest_path),
+        {"layer-cycle", to_generic(opt.manifest_path), 0,
          "declared dependency cycle: " + cycle});
   }
 
   // File-level include cycles (silent under #pragma once).
-  for (const std::string& cycle : find_cycles(file_adj)) {
-    violations.push_back({"include-cycle", "src",
+  for (const std::string& cycle : ns::lint::find_cycles(file_adj)) {
+    violations.push_back({"include-cycle", "src", 0,
                           "#include cycle: " + cycle});
   }
 
@@ -611,41 +484,21 @@ int main(int argc, char** argv) {
     check_self_contained(opt, files, violations);
   }
 
-  std::sort(violations.begin(), violations.end(),
-            [](const Violation& a, const Violation& b) {
-              return std::tie(a.rule, a.file, a.message) <
-                     std::tie(b.rule, b.file, b.message);
-            });
-  for (const auto& v : violations) {
-    std::printf("arch_lint: [%s] %s: %s\n", v.rule.c_str(), v.file.c_str(),
-                v.message.c_str());
-  }
+  ns::lint::sort_violations(violations);
+  ns::lint::print_violations("arch_lint", violations, /*with_line=*/false);
   std::printf(
       "arch_lint: %zu file(s), %zu subsystem edge(s), %zu violation(s)\n",
       files.size(), layer_edges.size(), violations.size());
 
   if (!opt.json_path.empty()) {
-    std::ofstream json(opt.json_path);
-    json << "{\n  \"root\": \"" << json_escape(to_generic(opt.root))
-         << "\",\n  \"files\": " << files.size()
-         << ",\n  \"edges\": [";
-    bool first = true;
+    std::vector<std::string> edges;
     for (const auto& [edge, unused] : layer_edges) {
       (void)unused;
-      json << (first ? "" : ", ") << "\"" << json_escape(edge.first)
-           << " -> " << json_escape(edge.second) << "\"";
-      first = false;
+      edges.push_back(edge.first + " -> " + edge.second);
     }
-    json << "],\n  \"violations\": [";
-    first = true;
-    for (const auto& v : violations) {
-      json << (first ? "\n" : ",\n")
-           << "    {\"rule\": \"" << json_escape(v.rule)
-           << "\", \"file\": \"" << json_escape(v.file)
-           << "\", \"message\": \"" << json_escape(v.message) << "\"}";
-      first = false;
-    }
-    json << (first ? "" : "\n  ") << "]\n}\n";
+    ns::lint::write_json_report(opt.json_path, opt.root, files.size(),
+                                "edges", edges, violations,
+                                /*with_line=*/false);
   }
   return violations.empty() ? 0 : 1;
 }

@@ -3,7 +3,7 @@
 // The repo's moat is bitwise determinism at any thread count, and the
 // serving layer will multiply the concurrent state; this tool makes both
 // properties *checked* instead of hoped-for. It scans every source file
-// under src/ (comment-aware, same scanner style as arch_lint.cpp) against
+// under src/ (comment-aware, shared scanner in lint_common.hpp) against
 // the concurrency manifest at src/CONCURRENCY.txt and reports violations
 // one per line as
 //
@@ -62,7 +62,6 @@
 //
 // A suppression with an empty rationale does not count.
 
-#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -72,10 +71,18 @@
 #include <set>
 #include <sstream>
 #include <string>
-#include <tuple>
 #include <vector>
 
+#include "lint_common.hpp"
+
 namespace fs = std::filesystem;
+
+using ns::lint::blank_code;
+using ns::lint::has_marker;
+using ns::lint::LineParts;
+using ns::lint::split_lines;
+using ns::lint::to_generic;
+using ns::lint::Violation;
 
 namespace {
 
@@ -85,13 +92,6 @@ struct Manifest {
   std::map<std::string, std::set<std::string>> grants;
 };
 
-struct Violation {
-  std::string rule;
-  std::string file;   // repo-root-relative path (or manifest path)
-  std::size_t line = 0;
-  std::string message;
-};
-
 struct Options {
   fs::path root;
   fs::path manifest_path;  // empty = <root>/src/CONCURRENCY.txt
@@ -99,24 +99,20 @@ struct Options {
   bool verbose = false;
 };
 
-/// One physical source line, split into its code and comment parts
-/// (block comments tracked across lines).
-struct LineParts {
-  std::string code;
-  std::string comment;
-};
-
 void usage(std::FILE* out) {
   std::fputs(
       "usage: con_lint --root <repo-root> [--manifest <CONCURRENCY.txt>]\n"
-      "                [--json <report.json>] [--verbose]\n",
+      "                [--json <report.json>] [--list-rules] [--verbose]\n",
       out);
 }
 
-std::string to_generic(const fs::path& p) { return p.generic_string(); }
-
 const std::set<std::string> kDirectives = {"threads", "atomics", "mutexes",
                                            "deterministic"};
+
+const std::vector<const char*> kRules = {
+    "manifest",         "ownership",           "atomic-rationale",
+    "mutex-discipline", "lock-order-cycle",    "unordered-iteration",
+    "randomness",       "address-order"};
 
 /// Parses src/CONCURRENCY.txt. Syntax errors are reported as `manifest`
 /// violations; the returned manifest holds whatever parsed cleanly.
@@ -162,37 +158,6 @@ Manifest parse_manifest(const fs::path& path, const fs::path& root,
   return m;
 }
 
-bool is_source_ext(const fs::path& p) {
-  const std::string e = p.extension().string();
-  return e == ".hpp" || e == ".h" || e == ".cpp" || e == ".cc" || e == ".inc";
-}
-
-/// All source files under <root>/src, root-relative, sorted. Hidden
-/// directories and nested conlint roots (a subdirectory with its own
-/// src/CONCURRENCY.txt, i.e. a seeded fixture tree) are skipped.
-std::vector<fs::path> collect_sources(const fs::path& root) {
-  std::vector<fs::path> files;
-  const fs::path base = root / "src";
-  if (!fs::exists(base)) return files;
-  for (auto it = fs::recursive_directory_iterator(base);
-       it != fs::recursive_directory_iterator(); ++it) {
-    const fs::directory_entry& entry = *it;
-    if (entry.is_directory()) {
-      const std::string name = entry.path().filename().string();
-      if ((!name.empty() && name[0] == '.') ||
-          fs::exists(entry.path() / "src" / "CONCURRENCY.txt")) {
-        it.disable_recursion_pending();
-      }
-      continue;
-    }
-    if (entry.is_regular_file() && is_source_ext(entry.path())) {
-      files.push_back(fs::relative(entry.path(), root));
-    }
-  }
-  std::sort(files.begin(), files.end());
-  return files;
-}
-
 /// Layer of a root-relative path "src/<layer>/...", nullopt for bare files
 /// directly under src/ (the manifests themselves).
 std::optional<std::string> layer_of(const fs::path& rel) {
@@ -202,74 +167,6 @@ std::optional<std::string> layer_of(const fs::path& rel) {
   const std::string name = it->string();
   return std::next(it) == rel.end() ? std::nullopt
                                     : std::optional<std::string>(name);
-}
-
-/// Splits a file into per-line (code, comment) parts. Both `//` and
-/// `/* ... */` comments land in `comment`; string literals are tracked so
-/// a quoted "//" does not start a comment.
-std::vector<LineParts> split_lines(const fs::path& file) {
-  std::vector<LineParts> lines;
-  std::ifstream in(file);
-  std::string line;
-  bool in_block = false;
-  while (std::getline(in, line)) {
-    LineParts parts;
-    bool in_string = false;
-    char quote = '\0';
-    for (std::size_t i = 0; i < line.size();) {
-      if (in_block) {
-        if (line.compare(i, 2, "*/") == 0) {
-          in_block = false;
-          i += 2;
-        } else {
-          parts.comment.push_back(line[i]);
-          ++i;
-        }
-      } else if (in_string) {
-        parts.code.push_back(line[i]);
-        if (line[i] == '\\' && i + 1 < line.size()) {
-          parts.code.push_back(line[i + 1]);
-          ++i;
-        } else if (line[i] == quote) {
-          in_string = false;
-        }
-        ++i;
-      } else if (line[i] == '"' || line[i] == '\'') {
-        in_string = true;
-        quote = line[i];
-        parts.code.push_back(line[i]);
-        ++i;
-      } else if (line.compare(i, 2, "/*") == 0) {
-        in_block = true;
-        i += 2;
-      } else if (line.compare(i, 2, "//") == 0) {
-        parts.comment.append(line, i + 2, std::string::npos);
-        break;
-      } else {
-        parts.code.push_back(line[i]);
-        ++i;
-      }
-    }
-    lines.push_back(std::move(parts));
-  }
-  return lines;
-}
-
-bool blank_code(const std::string& code) {
-  return code.find_first_not_of(" \t") == std::string::npos;
-}
-
-/// True when the comment of line `i`, or of an unbroken run of
-/// comment-only lines immediately above it, matches `marker`.
-bool has_marker(const std::vector<LineParts>& lines, std::size_t i,
-                const std::regex& marker) {
-  if (std::regex_search(lines[i].comment, marker)) return true;
-  for (std::size_t j = i; j-- > 0;) {
-    if (!blank_code(lines[j].code)) break;  // a code line ends the block
-    if (lines[j].comment.empty()) break;    // so does a fully blank line
-    if (std::regex_search(lines[j].comment, marker)) return true;
-  }
-  return false;
 }
 
 /// Detects `std::atomic<...> name` / `std::atomic_bool name` declarations
@@ -300,80 +197,6 @@ bool is_atomic_decl(const std::string& code) {
           code[i] == '_');
 }
 
-/// DFS cycle finder over a string-keyed adjacency map (one witness cycle
-/// per entangled region; same algorithm as arch_lint).
-std::vector<std::string> find_cycles(
-    const std::map<std::string, std::set<std::string>>& adj) {
-  std::vector<std::string> cycles;
-  std::map<std::string, int> color;  // 0 = white, 1 = on stack, 2 = done
-  std::vector<std::string> stack;
-  std::set<std::string> in_reported_cycle;
-
-  struct Frame {
-    std::string node;
-    std::set<std::string>::const_iterator next, end;
-  };
-  for (const auto& [start, unused] : adj) {
-    (void)unused;
-    if (color[start] != 0) continue;
-    std::vector<Frame> frames;
-    const auto push = [&](const std::string& n) {
-      color[n] = 1;
-      stack.push_back(n);
-      static const std::set<std::string> kEmpty;
-      const auto it = adj.find(n);
-      const auto& succ = it == adj.end() ? kEmpty : it->second;
-      frames.push_back({n, succ.begin(), succ.end()});
-    };
-    push(start);
-    while (!frames.empty()) {
-      Frame& top = frames.back();
-      if (top.next == top.end) {
-        color[top.node] = 2;
-        stack.pop_back();
-        frames.pop_back();
-        continue;
-      }
-      const std::string succ = *top.next++;
-      if (color[succ] == 1) {
-        const auto begin = std::find(stack.begin(), stack.end(), succ);
-        bool fresh = false;
-        std::string text;
-        for (auto it2 = begin; it2 != stack.end(); ++it2) {
-          if (in_reported_cycle.insert(*it2).second) fresh = true;
-          text += *it2 + " -> ";
-        }
-        text += succ;
-        if (fresh) cycles.push_back(text);
-      } else if (color[succ] == 0) {
-        push(succ);
-      }
-    }
-  }
-  return cycles;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 /// One banned-construct pattern of a determinism rule.
 struct Banned {
   const char* rule;
@@ -400,6 +223,9 @@ int main(int argc, char** argv) {
       opt.manifest_path = value();
     } else if (arg == "--json") {
       opt.json_path = value();
+    } else if (arg == "--list-rules") {
+      ns::lint::print_rules(kRules);
+      return 0;
     } else if (arg == "--verbose") {
       opt.verbose = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -474,7 +300,8 @@ int main(int argc, char** argv) {
        "std::owner_less (address ordering)"},
   };
 
-  const std::vector<fs::path> files = collect_sources(opt.root);
+  const std::vector<fs::path> files = ns::lint::collect_sources(
+      opt.root, "src", fs::path("src") / "CONCURRENCY.txt");
 
   // Lock-order edges from NS_ACQUIRED_BEFORE declarations, tree-wide:
   // capability-name -> must-be-acquired-after names.
@@ -570,49 +397,27 @@ int main(int argc, char** argv) {
     }
   }
 
-  for (const std::string& cycle : find_cycles(lock_order)) {
+  for (const std::string& cycle : ns::lint::find_cycles(lock_order)) {
     violations.push_back(
         {"lock-order-cycle", "src", 0,
          "NS_ACQUIRED_BEFORE declarations form a cycle: " + cycle +
              " (a cyclic lock order admits deadlock)"});
   }
 
-  std::sort(violations.begin(), violations.end(),
-            [](const Violation& a, const Violation& b) {
-              return std::tie(a.rule, a.file, a.line, a.message) <
-                     std::tie(b.rule, b.file, b.line, b.message);
-            });
-  for (const Violation& v : violations) {
-    std::printf("con_lint: [%s] %s:%zu: %s\n", v.rule.c_str(), v.file.c_str(),
-                v.line, v.message.c_str());
-  }
+  ns::lint::sort_violations(violations);
+  ns::lint::print_violations("con_lint", violations, /*with_line=*/true);
   std::printf(
       "con_lint: %zu file(s), %zu lock-order edge(s), %zu violation(s)\n",
       files.size(), lock_order.size(), violations.size());
 
   if (!opt.json_path.empty()) {
-    std::ofstream json(opt.json_path);
-    json << "{\n  \"root\": \"" << json_escape(to_generic(opt.root))
-         << "\",\n  \"files\": " << files.size() << ",\n  \"lock_order\": [";
-    bool first = true;
+    std::vector<std::string> edges;
     for (const auto& [from, tos] : lock_order) {
-      for (const auto& to : tos) {
-        json << (first ? "" : ", ") << "\"" << json_escape(from) << " -> "
-             << json_escape(to) << "\"";
-        first = false;
-      }
+      for (const auto& to : tos) edges.push_back(from + " -> " + to);
     }
-    json << "],\n  \"violations\": [";
-    first = true;
-    for (const Violation& v : violations) {
-      json << (first ? "\n" : ",\n")
-           << "    {\"rule\": \"" << json_escape(v.rule)
-           << "\", \"file\": \"" << json_escape(v.file)
-           << "\", \"line\": " << v.line
-           << ", \"message\": \"" << json_escape(v.message) << "\"}";
-      first = false;
-    }
-    json << (first ? "" : "\n  ") << "]\n}\n";
+    ns::lint::write_json_report(opt.json_path, opt.root, files.size(),
+                                "lock_order", edges, violations,
+                                /*with_line=*/true);
   }
   return violations.empty() ? 0 : 1;
 }

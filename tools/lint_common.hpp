@@ -1,0 +1,301 @@
+#pragma once
+// lint_common — shared scanner/report machinery for the in-repo analyzers
+// (arch_lint, con_lint, hot_lint). Each tool owns its manifest grammar and
+// rule set; what they share lives here so a scanner fix lands in all three:
+//
+//   * comment/string-aware line splitting (LineParts + split_lines)
+//   * marker lookup on a line or the unbroken comment block above it
+//   * source collection with nested-fixture-root skipping
+//   * the DFS cycle finder over string-keyed adjacency maps
+//   * Violation sorting and the shared stdout / JSON report formats
+//
+// Header-only by design: the analyzers are single-file tools with no link
+// dependencies, and this keeps them that way.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace ns::lint {
+
+namespace fs = std::filesystem;
+
+/// One analyzer finding. `line` is 1-based; 0 means "no line" (file- or
+/// tree-scoped findings, and every arch_lint finding — its stdout/JSON
+/// formats predate line tracking and omit the field).
+struct Violation {
+  std::string rule;
+  std::string file;  // repo-root-relative path (or manifest path)
+  std::size_t line = 0;
+  std::string message;
+};
+
+inline std::string to_generic(const fs::path& p) { return p.generic_string(); }
+
+inline bool is_source_ext(const fs::path& p) {
+  const std::string e = p.extension().string();
+  return e == ".hpp" || e == ".h" || e == ".cpp" || e == ".cc" || e == ".inc";
+}
+
+/// All project source files under <root>/<dir>, root-relative, sorted.
+/// A subdirectory holding its own `<nested_marker>` (e.g. src/LAYERS.txt)
+/// is a nested analyzer root — a seeded fixture tree under tests/fixtures/
+/// — and is not part of this tree; hidden directories are skipped too.
+inline std::vector<fs::path> collect_sources(const fs::path& root,
+                                             const std::string& dir,
+                                             const fs::path& nested_marker) {
+  std::vector<fs::path> files;
+  const fs::path base = root / dir;
+  if (!fs::exists(base)) return files;
+  for (auto it = fs::recursive_directory_iterator(base);
+       it != fs::recursive_directory_iterator(); ++it) {
+    const fs::directory_entry& entry = *it;
+    if (entry.is_directory()) {
+      const std::string name = entry.path().filename().string();
+      if ((!name.empty() && name[0] == '.') ||
+          fs::exists(entry.path() / nested_marker)) {
+        it.disable_recursion_pending();
+      }
+      continue;
+    }
+    if (entry.is_regular_file() && is_source_ext(entry.path())) {
+      files.push_back(fs::relative(entry.path(), root));
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// One physical source line, split into its code and comment parts (block
+/// comments tracked across lines). `code` keeps string literals verbatim
+/// (arch_lint reads include paths out of them); `stripped` additionally
+/// blanks string/char-literal contents, so brace counting and token scans
+/// cannot be fooled by quoted braces or keywords.
+struct LineParts {
+  std::string code;
+  std::string comment;
+  std::string stripped;
+};
+
+/// Splits a file into per-line (code, comment, stripped) parts. Both `//`
+/// and `/* ... */` comments land in `comment`; string literals are tracked
+/// so a quoted "//" does not start a comment.
+inline std::vector<LineParts> split_lines(const fs::path& file) {
+  std::vector<LineParts> lines;
+  std::ifstream in(file);
+  std::string line;
+  bool in_block = false;
+  while (std::getline(in, line)) {
+    LineParts parts;
+    bool in_string = false;
+    char quote = '\0';
+    for (std::size_t i = 0; i < line.size();) {
+      if (in_block) {
+        if (line.compare(i, 2, "*/") == 0) {
+          in_block = false;
+          i += 2;
+        } else {
+          parts.comment.push_back(line[i]);
+          ++i;
+        }
+      } else if (in_string) {
+        parts.code.push_back(line[i]);
+        parts.stripped.push_back(' ');
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          parts.code.push_back(line[i + 1]);
+          parts.stripped.push_back(' ');
+          ++i;
+        } else if (line[i] == quote) {
+          in_string = false;
+          parts.stripped.back() = quote;
+        }
+        ++i;
+      } else if (line[i] == '"' || line[i] == '\'') {
+        in_string = true;
+        quote = line[i];
+        parts.code.push_back(line[i]);
+        parts.stripped.push_back(line[i]);
+        ++i;
+      } else if (line.compare(i, 2, "/*") == 0) {
+        in_block = true;
+        i += 2;
+      } else if (line.compare(i, 2, "//") == 0) {
+        parts.comment.append(line, i + 2, std::string::npos);
+        break;
+      } else {
+        parts.code.push_back(line[i]);
+        parts.stripped.push_back(line[i]);
+        ++i;
+      }
+    }
+    lines.push_back(std::move(parts));
+  }
+  return lines;
+}
+
+inline bool blank_code(const std::string& code) {
+  return code.find_first_not_of(" \t") == std::string::npos;
+}
+
+/// True when the comment of line `i`, or of an unbroken run of
+/// comment-only lines immediately above it, matches `marker`.
+inline bool has_marker(const std::vector<LineParts>& lines, std::size_t i,
+                       const std::regex& marker) {
+  if (std::regex_search(lines[i].comment, marker)) return true;
+  for (std::size_t j = i; j-- > 0;) {
+    if (!blank_code(lines[j].code)) break;  // a code line ends the block
+    if (lines[j].comment.empty()) break;    // so does a fully blank line
+    if (std::regex_search(lines[j].comment, marker)) return true;
+  }
+  return false;
+}
+
+/// DFS cycle finder over a string-keyed adjacency map. Returns one witness
+/// cycle per strongly-entangled region (first back edge found from each
+/// unvisited node), formatted "a -> b -> a".
+inline std::vector<std::string> find_cycles(
+    const std::map<std::string, std::set<std::string>>& adj) {
+  std::vector<std::string> cycles;
+  std::map<std::string, int> color;  // 0 = white, 1 = on stack, 2 = done
+  std::vector<std::string> stack;
+  std::set<std::string> in_reported_cycle;
+
+  struct Frame {
+    std::string node;
+    std::set<std::string>::const_iterator next, end;
+  };
+  for (const auto& [start, unused] : adj) {
+    (void)unused;
+    if (color[start] != 0) continue;
+    std::vector<Frame> frames;
+    const auto push = [&](const std::string& n) {
+      color[n] = 1;
+      stack.push_back(n);
+      static const std::set<std::string> kEmpty;
+      const auto it = adj.find(n);
+      const auto& succ = it == adj.end() ? kEmpty : it->second;
+      frames.push_back({n, succ.begin(), succ.end()});
+    };
+    push(start);
+    while (!frames.empty()) {
+      Frame& top = frames.back();
+      if (top.next == top.end) {
+        color[top.node] = 2;
+        stack.pop_back();
+        frames.pop_back();
+        continue;
+      }
+      const std::string succ = *top.next++;
+      if (color[succ] == 1) {
+        // Back edge: the cycle is the stack suffix from succ.
+        const auto begin = std::find(stack.begin(), stack.end(), succ);
+        bool fresh = false;
+        std::string text;
+        for (auto it2 = begin; it2 != stack.end(); ++it2) {
+          if (in_reported_cycle.insert(*it2).second) fresh = true;
+          text += *it2 + " -> ";
+        }
+        text += succ;
+        if (fresh) cycles.push_back(text);
+      } else if (color[succ] == 0) {
+        push(succ);
+      }
+    }
+  }
+  return cycles;
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Stable diagnostic order shared by every analyzer: rule, then file, then
+/// line (always 0 for arch_lint, so its historical order is unchanged),
+/// then message.
+inline void sort_violations(std::vector<Violation>& violations) {
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.rule, a.file, a.line, a.message) <
+                     std::tie(b.rule, b.file, b.line, b.message);
+            });
+}
+
+/// Prints `<tool>: [<rule>] <file>[:<line>]: <message>` per violation.
+/// `with_line` selects the line-carrying format (con_lint/hot_lint) vs the
+/// line-less arch_lint format.
+inline void print_violations(const char* tool,
+                             const std::vector<Violation>& violations,
+                             bool with_line) {
+  for (const Violation& v : violations) {
+    if (with_line) {
+      std::printf("%s: [%s] %s:%zu: %s\n", tool, v.rule.c_str(),
+                  v.file.c_str(), v.line, v.message.c_str());
+    } else {
+      std::printf("%s: [%s] %s: %s\n", tool, v.rule.c_str(), v.file.c_str(),
+                  v.message.c_str());
+    }
+  }
+}
+
+/// Writes the shared JSON report shape:
+///   {root, files, <edges_key>: ["a -> b", ...], violations: [...]}
+/// Violation objects carry a `line` field only when `with_line` is set
+/// (arch_lint's report predates line tracking and stays stable).
+inline void write_json_report(const fs::path& json_path, const fs::path& root,
+                              std::size_t file_count, const char* edges_key,
+                              const std::vector<std::string>& edges,
+                              const std::vector<Violation>& violations,
+                              bool with_line) {
+  std::ofstream json(json_path);
+  json << "{\n  \"root\": \"" << json_escape(to_generic(root))
+       << "\",\n  \"files\": " << file_count << ",\n  \"" << edges_key
+       << "\": [";
+  bool first = true;
+  for (const std::string& e : edges) {
+    json << (first ? "" : ", ") << "\"" << json_escape(e) << "\"";
+    first = false;
+  }
+  json << "],\n  \"violations\": [";
+  first = true;
+  for (const Violation& v : violations) {
+    json << (first ? "\n" : ",\n") << "    {\"rule\": \""
+         << json_escape(v.rule) << "\", \"file\": \"" << json_escape(v.file)
+         << "\"";
+    if (with_line) json << ", \"line\": " << v.line;
+    json << ", \"message\": \"" << json_escape(v.message) << "\"}";
+    first = false;
+  }
+  json << (first ? "" : "\n  ") << "]\n}\n";
+}
+
+/// `--list-rules` support: prints one rule name per line (machine-greppable,
+/// uniform across the analyzers).
+inline void print_rules(const std::vector<const char*>& rules) {
+  for (const char* r : rules) std::printf("%s\n", r);
+}
+
+}  // namespace ns::lint

@@ -13,7 +13,8 @@
 #                   run it from `ctest -L analysis` or CI, not the inner
 #                   loop.
 #   --static        first run the in-repo analyzers from the build dir —
-#                   arch_lint (ns::archcheck) and con_lint (ns::conlint) —
+#                   arch_lint (ns::archcheck), con_lint (ns::conlint), and
+#                   hot_lint (ns::hotlint) —
 #                   against the real tree; skipped with a notice when the
 #                   binaries are not built. Their findings fail the gate
 #                   like tidy findings do. (`cmake --build <dir> --target
@@ -85,7 +86,7 @@ build_dir="${build_dir:-${repo_root}/build}"
 
 static_failed=0
 if [ "${static}" -eq 1 ]; then
-  for analyzer in arch_lint con_lint; do
+  for analyzer in arch_lint con_lint hot_lint; do
     bin="${build_dir}/tools/${analyzer}"
     if [ ! -x "${bin}" ]; then
       echo "run_lint: ${analyzer} not built in ${build_dir} — skipped" >&2
